@@ -1,0 +1,83 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every table/figure benchmark consumes full-scale (scale=1.0) artifacts;
+they are built once per session here and cached.  Reports are printed in
+the paper's row layout and written as CSV under ``benchmarks/out/``.
+"""
+
+import os
+
+import pytest
+
+from repro.dataset import build_paper_dataset
+from repro.flow import FlowOptions, run_flow
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: paper-reported reference numbers used in the printed comparisons
+PAPER = {
+    "table1": {
+        "with": {"wns": -13.643, "fmax": 42.3, "latency": 1.08e6,
+                 "max_cong": 178.96},
+        "without": {"wns": -0.066, "fmax": 99.3, "latency": 1.73e7,
+                    "max_cong": 58.51},
+    },
+    "table3": {"v_max": 133.33, "v_min": 5.06, "v_avg": 60.58,
+               "h_max": 178.96, "h_min": 8.90, "h_avg": 72.47},
+    "table4_gbrt_filtered": {"v_mae": 9.59, "v_medae": 6.71,
+                             "h_mae": 14.54, "h_medae": 10.05,
+                             "avg_mae": 9.70, "avg_medae": 6.81},
+    "table6": {
+        "baseline": {"wns": -13.643, "fmax": 42.3, "cong_v": 133.33,
+                     "cong_h": 178.96, "n_congested": 1272},
+        "not_inline": {"wns": -3.504, "fmax": 74.1, "cong_v": 129.85,
+                       "cong_h": 97.60, "n_congested": 193},
+        "replicate": {"wns": -0.767, "fmax": 92.9, "cong_v": 106.15,
+                      "cong_h": 104.73, "n_congested": 17},
+    },
+    "dataset_samples": 8111,
+    "marginal_fraction": 0.034,
+}
+
+
+def out_path(name: str) -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return os.path.join(OUT_DIR, name)
+
+
+@pytest.fixture(scope="session")
+def flow_options():
+    return FlowOptions(scale=1.0, placement_effort="fast", seed=0)
+
+
+@pytest.fixture(scope="session")
+def facedet_baseline(flow_options):
+    return run_flow("face_detection", "baseline", options=flow_options)
+
+
+@pytest.fixture(scope="session")
+def facedet_plain(flow_options):
+    return run_flow("face_detection", "no_directives", options=flow_options)
+
+
+@pytest.fixture(scope="session")
+def facedet_not_inline(flow_options):
+    return run_flow("face_detection", "not_inline", options=flow_options)
+
+
+@pytest.fixture(scope="session")
+def facedet_replicate(flow_options):
+    return run_flow("face_detection", "replicate", options=flow_options)
+
+
+@pytest.fixture(scope="session")
+def all_combo_flows(flow_options):
+    return {
+        name: run_flow(name, "baseline", options=flow_options)
+        for name in ("face_detection", "digit_spam", "bnn_render_flow")
+    }
+
+
+@pytest.fixture(scope="session")
+def paper_dataset(flow_options):
+    return build_paper_dataset(options=flow_options)

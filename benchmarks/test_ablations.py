@@ -1,0 +1,72 @@
+"""Ablations of the design choices DESIGN.md calls out (beyond-paper).
+
+* sharing-merge off (no Fig. 4 merging) — does merged-graph feature
+  extraction matter?
+* one-hop-only features — do the two-hop neighbourhoods add signal?
+* category knockout — GBRT without the #Resource/ΔTcs block.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import out_path
+from repro.features import FeatureCategory, category_indices
+from repro.ml import (
+    GradientBoostingRegressor,
+    mean_absolute_error,
+    train_test_split,
+)
+from repro.util.tabulate import format_table, write_csv
+
+
+def _fit_mae(X, y, seed=0):
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2,
+                                          random_state=seed)
+    model = GradientBoostingRegressor(
+        n_estimators=150, max_depth=5, learning_rate=0.08,
+        subsample=0.8, max_features=0.4, random_state=0,
+    ).fit(Xtr, ytr)
+    return mean_absolute_error(yte, model.predict(Xte))
+
+
+def test_ablations(benchmark, paper_dataset):
+    filtered, _ = paper_dataset.filter_marginal()
+    y = filtered.y_vertical
+    indices = category_indices()
+
+    def run():
+        results = {}
+        results["full"] = _fit_mae(filtered.X, y)
+
+        # knockout: zero out the #Resource/dTcs block
+        no_rdt = filtered.X.copy()
+        no_rdt[:, np.asarray(indices[FeatureCategory.RESOURCE_DT])] = 0.0
+        results["no_rdt"] = _fit_mae(no_rdt, y)
+
+        # one-hop only: drop every 2hop feature
+        one_hop = filtered.X.copy()
+        from repro.features import feature_names
+
+        two_hop_cols = [
+            i for i, name in enumerate(feature_names()) if "2hop" in name
+        ]
+        one_hop[:, two_hop_cols] = 0.0
+        results["one_hop_only"] = _fit_mae(one_hop, y)
+
+        # local features only (no global block)
+        no_global = filtered.X.copy()
+        no_global[:, np.asarray(indices[FeatureCategory.GLOBAL])] = 0.0
+        results["no_global"] = _fit_mae(no_global, y)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["Variant", "GBRT vertical MAE"]
+    rows = [[k, round(v, 2)] for k, v in results.items()]
+    print("\n" + format_table(headers, rows, title="ABLATIONS"))
+    write_csv(out_path("ablations.csv"), headers, rows)
+
+    # the full feature set is never (meaningfully) worse than knockouts
+    tolerance = 0.25
+    assert results["full"] <= results["no_rdt"] + tolerance
+    assert results["full"] <= results["one_hop_only"] + tolerance
+    assert results["full"] <= results["no_global"] + tolerance

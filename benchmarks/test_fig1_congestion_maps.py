@@ -1,0 +1,37 @@
+"""Fig. 1 — congestion maps of the two Face Detection implementations.
+
+Regenerates the two maps as ASCII heatmaps + CSV grids.  Shape checks:
+the directive-optimized map must show a larger hot area and higher peak.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import out_path
+from repro.util.tabulate import write_csv
+
+
+def test_fig1(benchmark, facedet_baseline, facedet_plain):
+    def render():
+        return (
+            facedet_baseline.congestion.render_ascii("average"),
+            facedet_plain.congestion.render_ascii("average"),
+        )
+
+    art_with, art_without = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\nFig 1a — With Directives:\n" + art_with)
+    print("\nFig 1b — Without Directives:\n" + art_without)
+
+    for name, flow in (("fig1_with_directives", facedet_baseline),
+                       ("fig1_without_directives", facedet_plain)):
+        grid = flow.congestion.average
+        write_csv(
+            out_path(f"{name}.csv"),
+            [f"x{i}" for i in range(grid.shape[1])],
+            [list(np.round(row, 2)) for row in grid],
+        )
+
+    hot_with = (facedet_baseline.congestion.average > 80).sum()
+    hot_without = (facedet_plain.congestion.average > 80).sum()
+    assert hot_with > hot_without
+    assert (facedet_baseline.congestion.max_congestion()
+            > facedet_plain.congestion.max_congestion())

@@ -1,0 +1,49 @@
+"""Fig. 6 — congestion maps across the resolution steps.
+
+Regenerates the V/H maps for baseline, not-inline and replication, like
+the paper's six panels.  Shape check: the over-100% area of the resolved
+design does not exceed the baseline's.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import out_path
+from repro.util.tabulate import write_csv
+
+
+def test_fig6(benchmark, facedet_baseline, facedet_not_inline,
+              facedet_replicate):
+    flows = {
+        "baseline": facedet_baseline,
+        "not_inline": facedet_not_inline,
+        "replicate": facedet_replicate,
+    }
+
+    def render():
+        return {
+            name: (flow.congestion.render_ascii("vertical", width=48),
+                   flow.congestion.render_ascii("horizontal", width=48))
+            for name, flow in flows.items()
+        }
+
+    art = benchmark.pedantic(render, rounds=1, iterations=1)
+    for name, (v_map, h_map) in art.items():
+        print(f"\nFig 6 [{name}] vertical:\n{v_map}")
+        print(f"\nFig 6 [{name}] horizontal:\n{h_map}")
+
+    for name, flow in flows.items():
+        for direction in ("vertical", "horizontal"):
+            grid = getattr(flow.congestion, direction)
+            write_csv(
+                out_path(f"fig6_{name}_{direction}.csv"),
+                [f"x{i}" for i in range(grid.shape[1])],
+                [list(np.round(row, 2)) for row in grid],
+            )
+
+    over_area = {
+        name: int((np.maximum(f.congestion.vertical,
+                              f.congestion.horizontal) > 100).sum())
+        for name, f in flows.items()
+    }
+    print(f"over-100% tiles: {over_area}")
+    assert over_area["replicate"] <= over_area["baseline"] * 1.1

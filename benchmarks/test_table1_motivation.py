@@ -1,0 +1,58 @@
+"""Table I — Face Detection with vs. without directives.
+
+Paper: directives cut latency ~16x but push max congestion from 58.51%
+to 178.96% and Fmax from 99.3 to 42.3 MHz.  Shape checks: directives must
+reduce latency and increase congestion / worsen WNS.
+"""
+
+from benchmarks.conftest import PAPER, out_path
+from repro.util.tabulate import format_table, write_csv
+
+
+def _row(tag, summary):
+    return [
+        tag,
+        round(summary["wns_ns"], 3),
+        round(summary["fmax_mhz"], 1),
+        summary["latency_cycles"],
+        round(max(summary["max_v_congestion"],
+                  summary["max_h_congestion"]), 2),
+    ]
+
+
+def test_table1(benchmark, facedet_baseline, facedet_plain):
+    def collect():
+        return facedet_baseline.summary(), facedet_plain.summary()
+
+    with_d, without_d = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    headers = ["Implementation", "WNS(ns)", "Max Freq.(MHz)",
+               "Latency(cycles)", "Max Congestion(%)"]
+    rows = [
+        _row("With Directives (ours)", with_d),
+        ["With Directives (paper)", PAPER["table1"]["with"]["wns"],
+         PAPER["table1"]["with"]["fmax"],
+         PAPER["table1"]["with"]["latency"],
+         PAPER["table1"]["with"]["max_cong"]],
+        _row("Without Directives (ours)", without_d),
+        ["Without Directives (paper)", PAPER["table1"]["without"]["wns"],
+         PAPER["table1"]["without"]["fmax"],
+         PAPER["table1"]["without"]["latency"],
+         PAPER["table1"]["without"]["max_cong"]],
+    ]
+    print("\n" + format_table(headers, rows, title="TABLE I (reproduction)"))
+    write_csv(out_path("table1.csv"), headers, rows)
+
+    # shape assertions (who wins, direction of every paper contrast)
+    assert with_d["latency_cycles"] < without_d["latency_cycles"]
+    assert max(with_d["max_v_congestion"], with_d["max_h_congestion"]) > \
+        max(without_d["max_v_congestion"], without_d["max_h_congestion"])
+    assert with_d["wns_ns"] < without_d["wns_ns"]
+    assert with_d["fmax_mhz"] < without_d["fmax_mhz"]
+    # the congested design has a much larger hot area and denser routing
+    cong_with = facedet_baseline.congestion
+    cong_without = facedet_plain.congestion
+    assert (cong_with.average > 80).sum() > 3 * (
+        (cong_without.average > 80).sum()
+    )
+    assert cong_with.mean_vertical() > 1.3 * cong_without.mean_vertical()

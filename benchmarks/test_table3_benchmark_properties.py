@@ -1,0 +1,63 @@
+"""Table III — property summary of the benchmark combinations.
+
+Paper: WNS in [-13.6, -3.25] ns, Fmax in [42.3, 75.5] MHz, vertical
+congestion up to 133%, horizontal up to 179%, averages around 60-72%.
+Shape checks: all three combined designs miss timing, congestion spans a
+wide range with horizontal >= vertical on average.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import PAPER, out_path
+from repro.util.tabulate import format_table, write_csv
+
+
+def test_table3(benchmark, all_combo_flows):
+    def collect():
+        return {name: flow.summary() for name, flow in all_combo_flows.items()}
+
+    summaries = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    wns = [s["wns_ns"] for s in summaries.values()]
+    fmax = [s["fmax_mhz"] for s in summaries.values()]
+    v_max = [s["max_v_congestion"] for s in summaries.values()]
+    h_max = [s["max_h_congestion"] for s in summaries.values()]
+    v_mean = [f.congestion.mean_vertical() for f in all_combo_flows.values()]
+    h_mean = [f.congestion.mean_horizontal() for f in all_combo_flows.values()]
+
+    headers = ["Metric", "WNS(ns)", "Freq.(MHz)", "Vertical Cong(%)",
+               "Horizontal Cong(%)"]
+    rows = [
+        ["Max (ours)", round(max(wns), 3), round(max(fmax), 1),
+         round(max(v_max), 2), round(max(h_max), 2)],
+        ["Max (paper)", -3.253, 75.5, PAPER["table3"]["v_max"],
+         PAPER["table3"]["h_max"]],
+        ["Min (ours)", round(min(wns), 3), round(min(fmax), 1),
+         round(min(v_max), 2), round(min(h_max), 2)],
+        ["Min (paper)", -13.643, 42.3, PAPER["table3"]["v_min"],
+         PAPER["table3"]["h_min"]],
+        ["Avg mean-cong (ours)", "-", "-", round(float(np.mean(v_mean)), 2),
+         round(float(np.mean(h_mean)), 2)],
+        ["Avg (paper)", -8.386, 54.4, PAPER["table3"]["v_avg"],
+         PAPER["table3"]["h_avg"]],
+    ]
+    print("\n" + format_table(headers, rows, title="TABLE III (reproduction)"))
+    write_csv(out_path("table3.csv"), headers, rows)
+
+    per_design = [
+        [name, round(s["wns_ns"], 2), round(s["fmax_mhz"], 1),
+         round(s["max_v_congestion"], 1), round(s["max_h_congestion"], 1),
+         s["n_samples"]]
+        for name, s in summaries.items()
+    ]
+    print(format_table(
+        ["Design", "WNS", "Fmax", "maxV", "maxH", "samples"], per_design
+    ))
+
+    # shape: every directive-optimized combined design misses timing
+    assert all(w < 0 for w in wns)
+    # congestion exceeds 100% somewhere (routing is the bottleneck)
+    assert max(max(v_max), max(h_max)) > 100.0
+    # dataset scale comparable to the paper's 8111 samples
+    total_samples = sum(s["n_samples"] for s in summaries.values())
+    assert 2000 < total_samples < 20000

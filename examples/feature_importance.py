@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Feature-importance analysis (the paper's Table V).
+
+Trains GBRT per congestion direction and aggregates split-count
+importances by the seven Table II categories, plus the top individual
+features — useful when extending the feature set.
+"""
+
+import numpy as np
+
+from repro import build_paper_dataset
+from repro.features import category_indices, feature_names
+from repro.flow import FlowOptions
+from repro.ml import GradientBoostingRegressor, train_test_split
+from repro.util.tabulate import format_table
+
+
+def main() -> None:
+    options = FlowOptions(scale=0.4, placement_effort="fast", seed=0)
+    dataset = build_paper_dataset(options=options)
+    filtered, _ = dataset.filter_marginal()
+
+    for target in ("vertical", "horizontal"):
+        X_train, _, y_train, _ = train_test_split(
+            filtered.X, filtered.target(target), test_size=0.2,
+            random_state=0,
+        )
+        model = GradientBoostingRegressor(
+            n_estimators=150, max_depth=5, learning_rate=0.08,
+            subsample=0.8, max_features=0.4, random_state=0,
+        ).fit(X_train, y_train)
+        importances = model.feature_importances_
+
+        rows = []
+        for category, idx in category_indices().items():
+            share = float(importances[np.asarray(idx)].sum())
+            rows.append([category.value, len(idx), round(share, 4)])
+        rows.sort(key=lambda r: -r[2])
+        print(format_table(
+            ["Category", "#Features", "ImportanceShare"], rows,
+            title=f"Importance by category — {target} congestion",
+        ))
+
+        names = feature_names()
+        top = np.argsort(importances)[::-1][:8]
+        print("top individual features:")
+        for i in top:
+            print(f"  {names[i]:45s} {importances[i]:.4f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

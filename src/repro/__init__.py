@@ -1,0 +1,63 @@
+"""repro — reproduction of "Machine Learning Based Routing Congestion
+Prediction in FPGA High-Level Synthesis" (Zhao et al., DATE 2019).
+
+Public API tour
+---------------
+
+Build a design and run the full C-to-FPGA flow::
+
+    from repro import run_flow
+    result = run_flow("face_detection", "baseline")
+    print(result.summary())
+
+Build the paper's dataset and train the models::
+
+    from repro import build_paper_dataset, evaluate_models
+    dataset = build_paper_dataset()
+    table4 = evaluate_models(dataset)
+
+Predict congestion for a new design without place-and-route::
+
+    from repro import CongestionPredictor, build_face_detection
+    predictor = CongestionPredictor("gbrt").fit(dataset)
+    design = build_face_detection(variant="baseline")
+    prediction = predictor.predict_design(design)
+    print(prediction.hottest_regions())
+"""
+
+from repro.errors import ReproError
+from repro.flow import FlowOptions, FlowResult, run_flow, run_flow_on_design
+from repro.dataset import CongestionDataset, build_paper_dataset
+from repro.predict import (
+    CongestionPredictor,
+    evaluate_models,
+    suggest_resolutions,
+)
+from repro.kernels import (
+    build_face_detection,
+    build_digit_recognition,
+    build_spam_filter,
+    build_bnn,
+    build_rendering_3d,
+    build_optical_flow,
+    build_kernel,
+    build_combined,
+    PAPER_COMBINATIONS,
+)
+from repro.features import N_FEATURES, FeatureCategory, feature_names
+from repro.fpga import xc7z020
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "FlowOptions", "FlowResult", "run_flow", "run_flow_on_design",
+    "CongestionDataset", "build_paper_dataset",
+    "CongestionPredictor", "evaluate_models", "suggest_resolutions",
+    "build_face_detection", "build_digit_recognition", "build_spam_filter",
+    "build_bnn", "build_rendering_3d", "build_optical_flow",
+    "build_kernel", "build_combined", "PAPER_COMBINATIONS",
+    "N_FEATURES", "FeatureCategory", "feature_names",
+    "xc7z020",
+    "__version__",
+]

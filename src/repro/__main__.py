@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+flow      run one C-to-FPGA flow and print the implementation summary
+dataset   build the paper's dataset and print its statistics
+train     run the Table IV evaluation protocol
+predict   train GBRT and print predicted hotspots for a design variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dataset import build_paper_dataset
+from repro.flow import FlowOptions, run_flow
+from repro.kernels import KERNEL_BUILDERS, PAPER_COMBINATIONS, build_kernel
+from repro.predict import CongestionPredictor, evaluate_models, suggest_resolutions
+from repro.util.tabulate import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="structural scale of the generated designs")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--effort", default="fast",
+                        choices=("fast", "normal", "high"),
+                        help="placement effort")
+
+
+def _options(args) -> FlowOptions:
+    return FlowOptions(scale=args.scale, seed=args.seed,
+                       placement_effort=args.effort)
+
+
+def cmd_flow(args) -> int:
+    result = run_flow(args.design, args.variant, options=_options(args))
+    summary = result.summary()
+    rows = [[k, v if not isinstance(v, float) else round(v, 3)]
+            for k, v in summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.design} [{args.variant}]"))
+    if args.map:
+        print(result.congestion.render_ascii("average"))
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    dataset = build_paper_dataset(options=_options(args))
+    filtered, stats = dataset.filter_marginal()
+    print(f"samples          : {dataset.n_samples}")
+    print(f"marginal filtered: {stats['removed']} "
+          f"({100 * stats['fraction']:.1f}%)")
+    print(f"label stats      : {dataset.label_stats()}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = build_paper_dataset(options=_options(args))
+    results = evaluate_models(dataset, preset=args.preset,
+                              grid_search=args.grid_search)
+    headers = ["Filtering", "Model", "V MAE", "V MedAE", "H MAE",
+               "H MedAE", "Avg MAE", "Avg MedAE"]
+    rows = [[c if isinstance(c, str) else round(c, 2) for c in row]
+            for row in results.rows()]
+    print(format_table(headers, rows, title="Table IV protocol"))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    options = _options(args)
+    dataset = build_paper_dataset(options=options)
+    predictor = CongestionPredictor(args.model).fit(dataset)
+    design = build_kernel(args.design, scale=args.scale,
+                          variant=args.variant)
+    prediction = predictor.predict_design(design)
+    print(f"inference: {prediction.inference_seconds:.2f}s "
+          f"({len(prediction.node_ids)} operations)")
+    rows = [
+        [f"{r.source_file}:{r.source_line}", round(r.vertical, 1),
+         round(r.horizontal, 1), r.n_ops]
+        for r in prediction.hottest_regions(args.top)
+    ]
+    print(format_table(["region", "V(%)", "H(%)", "#ops"], rows,
+                       title="predicted congestion hotspots"))
+    for action in suggest_resolutions(design, prediction):
+        print(f"  -> {action.describe()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'ML Based Routing Congestion "
+                    "Prediction in FPGA HLS' (DATE 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_flow = sub.add_parser("flow", help="run one C-to-FPGA flow")
+    p_flow.add_argument("design",
+                        choices=sorted(PAPER_COMBINATIONS))
+    p_flow.add_argument("--variant", default="baseline")
+    p_flow.add_argument("--map", action="store_true",
+                        help="print the congestion map")
+    _add_common(p_flow)
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_data = sub.add_parser("dataset", help="build the paper dataset")
+    _add_common(p_data)
+    p_data.set_defaults(func=cmd_dataset)
+
+    p_train = sub.add_parser("train", help="run the Table IV protocol")
+    p_train.add_argument("--preset", default="fast",
+                         choices=("fast", "paper"))
+    p_train.add_argument("--grid-search", action="store_true")
+    _add_common(p_train)
+    p_train.set_defaults(func=cmd_train)
+
+    p_pred = sub.add_parser("predict", help="predict hotspots for a design")
+    p_pred.add_argument("design", choices=sorted(KERNEL_BUILDERS))
+    p_pred.add_argument("--variant", default="baseline")
+    p_pred.add_argument("--model", default="gbrt",
+                        choices=("linear", "ann", "gbrt"))
+    p_pred.add_argument("--top", type=int, default=5)
+    _add_common(p_pred)
+    p_pred.set_defaults(func=cmd_predict)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Back-tracing congestion metrics to IR operations (paper Fig. 3)."""
+
+from repro.backtrace.trace import (
+    OpCongestionLabel,
+    BacktraceResult,
+    Backtracer,
+)
+
+__all__ = ["OpCongestionLabel", "BacktraceResult", "Backtracer"]

@@ -1,0 +1,212 @@
+"""Back-tracing: per-CLB congestion metrics to IR operations.
+
+Reproduces the paper's Fig. 3 flow.  In the original, Tcl scripts walk
+Vivado's database: per-CLB congestion and coordinates -> cells in the CLB
+-> net names of cell output pins -> HDL signals -> HLS-generated naming ->
+IR operations.  In this library the netlist keeps explicit provenance
+(cell -> op uids, cluster -> cells, placement -> tiles), so the same walk
+is a pair of dictionary traversals — in both directions:
+
+* forward: tile -> clusters -> cells -> operations (``ops_in_tile``);
+* backward: operation -> cells (one per function instance) -> tiles ->
+  congestion label (``label_operations``).
+
+An operation instantiated several times (a callee with many call sites, a
+replica of an unrolled loop) yields one labelled sample per instance,
+which is precisely the replica population Section III-C1 filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BacktraceError
+from repro.impl.packing import Packing
+from repro.impl.placement import Placement
+from repro.impl.routing import CongestionMap
+from repro.ir.module import Module
+from repro.ir.operation import Operation
+from repro.rtl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class OpCongestionLabel:
+    """Congestion label for one (operation, instance) pair."""
+
+    op_uid: int
+    instance: str
+    function: str
+    vertical: float
+    horizontal: float
+    tiles: tuple[tuple[int, int], ...]
+    at_margin: bool
+
+    @property
+    def average(self) -> float:
+        """The paper's Avg. (V, H) metric for this sample."""
+        return 0.5 * (self.vertical + self.horizontal)
+
+
+@dataclass
+class BacktraceResult:
+    """All labels for one implemented design."""
+
+    labels: list[OpCongestionLabel] = field(default_factory=list)
+    #: op uid -> labels across instances
+    by_op: dict[int, list[OpCongestionLabel]] = field(default_factory=dict)
+
+    def add(self, label: OpCongestionLabel) -> None:
+        self.labels.append(label)
+        self.by_op.setdefault(label.op_uid, []).append(label)
+
+    def n_samples(self) -> int:
+        return len(self.labels)
+
+    def label_of(self, op_uid: int) -> OpCongestionLabel:
+        """Single label of an op (raises if the op has many instances)."""
+        labels = self.by_op.get(op_uid, [])
+        if not labels:
+            raise BacktraceError(f"no congestion label for op uid {op_uid}")
+        if len(labels) > 1:
+            raise BacktraceError(
+                f"op uid {op_uid} has {len(labels)} instances; "
+                "use by_op for per-instance labels"
+            )
+        return labels[0]
+
+
+class Backtracer:
+    """Bidirectional congestion <-> IR mapping for one implementation."""
+
+    def __init__(
+        self,
+        module: Module,
+        netlist: Netlist,
+        packing: Packing,
+        placement: Placement,
+        congestion: CongestionMap,
+    ) -> None:
+        self.module = module
+        self.netlist = netlist
+        self.packing = packing
+        self.placement = placement
+        self.congestion = congestion
+
+    # ------------------------------------------------------------------
+    # backward: operations -> labels
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window_mean(grid, radius: int):
+        """Box-filtered copy of a congestion grid (label smoothing).
+
+        Vivado's congestion levels are reported over windowed regions, not
+        single INT tiles; a small window average reproduces that and keeps
+        labels a function of the *region* an operation's wiring occupies.
+        """
+        if radius <= 0:
+            return grid
+        import numpy as np
+
+        padded = np.pad(grid, radius, mode="edge")
+        out = np.zeros_like(grid)
+        count = (2 * radius + 1) ** 2
+        rows, cols = grid.shape
+        for dy in range(2 * radius + 1):
+            for dx in range(2 * radius + 1):
+                out += padded[dy:dy + rows, dx:dx + cols]
+        return out / count
+
+    def label_operations(self, *, window_radius: int = 2) -> BacktraceResult:
+        """Produce one label per (operation, instance)."""
+        result = BacktraceResult()
+        device = self.congestion.device
+        v_grid = self._window_mean(self.congestion.vertical, window_radius)
+        h_grid = self._window_mean(self.congestion.horizontal, window_radius)
+        for func in self.module.functions.values():
+            for op in func.operations:
+                for cell_id in self.netlist.cells_of_op.get(op.uid, ()):
+                    cell = self.netlist.cell(cell_id)
+                    tiles = self.placement.tiles_of_cell(self.packing, cell_id)
+                    if not tiles:
+                        continue
+                    v = sum(v_grid[y, x] for x, y in tiles) / len(tiles)
+                    h = sum(h_grid[y, x] for x, y in tiles) / len(tiles)
+                    margin_tiles = sum(
+                        1 for x, y in tiles if device.is_margin(x, y)
+                    )
+                    result.add(
+                        OpCongestionLabel(
+                            op_uid=op.uid,
+                            instance=cell.instance,
+                            function=func.name,
+                            vertical=float(v),
+                            horizontal=float(h),
+                            tiles=tuple(tiles),
+                            at_margin=margin_tiles * 2 >= len(tiles),
+                        )
+                    )
+        if not result.labels:
+            raise BacktraceError("no operation could be traced to a tile")
+        return result
+
+    # ------------------------------------------------------------------
+    # forward: tile -> operations
+    # ------------------------------------------------------------------
+    def ops_in_tile(self, x: int, y: int) -> list[Operation]:
+        """IR operations implemented (at least partly) in tile ``(x, y)``."""
+        self.congestion.device.check_coords(x, y)
+        cell_ids: set[int] = set()
+        for cluster in self.packing.clusters:
+            if self.placement.positions.get(cluster.cluster_id) == (x, y):
+                cell_ids.update(cluster.cells)
+        ops: list[Operation] = []
+        seen: set[int] = set()
+        for cell_id in sorted(cell_ids):
+            for uid in self.netlist.cell(cell_id).op_uids:
+                if uid not in seen:
+                    seen.add(uid)
+                    ops.append(self.module.find_op(uid))
+        return ops
+
+    def hottest_tiles(self, n: int = 10, metric: str = "average"):
+        """The ``n`` most congested tiles as (x, y, value) triples."""
+        grid = {
+            "vertical": self.congestion.vertical,
+            "horizontal": self.congestion.horizontal,
+            "average": self.congestion.average,
+        }.get(metric)
+        if grid is None:
+            raise BacktraceError(f"unknown metric {metric!r}")
+        flat = grid.ravel()
+        order = flat.argsort()[::-1][:n]
+        cols = grid.shape[1]
+        return [
+            (int(i % cols), int(i // cols), float(flat[i])) for i in order
+        ]
+
+    # ------------------------------------------------------------------
+    # source-level aggregation (the paper's headline capability)
+    # ------------------------------------------------------------------
+    def congestion_by_source_line(
+        self, result: BacktraceResult | None = None
+    ) -> dict[tuple[str, int], dict[str, float]]:
+        """Aggregate labels per source location.
+
+        Returns ``(file, line) -> {vertical, horizontal, average, samples}``
+        using the max over samples (the congested region is what matters).
+        """
+        result = result or self.label_operations()
+        by_line: dict[tuple[str, int], dict[str, float]] = {}
+        for label in result.labels:
+            op = self.module.find_op(label.op_uid)
+            key = (op.loc.file, op.loc.line)
+            entry = by_line.setdefault(
+                key,
+                {"vertical": 0.0, "horizontal": 0.0, "average": 0.0,
+                 "samples": 0},
+            )
+            entry["vertical"] = max(entry["vertical"], label.vertical)
+            entry["horizontal"] = max(entry["horizontal"], label.horizontal)
+            entry["average"] = max(entry["average"], label.average)
+            entry["samples"] += 1
+        return by_line

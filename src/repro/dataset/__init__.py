@@ -1,0 +1,15 @@
+"""Dataset assembly and Section III-C1 marginal-sample filtering."""
+
+from repro.dataset.build import (
+    SampleMeta,
+    CongestionDataset,
+    dataset_from_flow,
+    build_paper_dataset,
+)
+
+__all__ = [
+    "SampleMeta",
+    "CongestionDataset",
+    "dataset_from_flow",
+    "build_paper_dataset",
+]

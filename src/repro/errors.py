@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation (IR) or illegal IR mutation."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural invariant violation."""
+
+
+class HLSError(ReproError):
+    """High-level synthesis (scheduling, binding, directive) failure."""
+
+
+class SchedulingError(HLSError):
+    """The scheduler could not produce a legal schedule."""
+
+
+class BindingError(HLSError):
+    """Operation-to-functional-unit binding failed."""
+
+
+class DirectiveError(HLSError):
+    """An HLS directive refers to a missing entity or is inconsistent."""
+
+
+class RTLError(ReproError):
+    """RTL netlist construction or query failure."""
+
+
+class DeviceError(ReproError):
+    """FPGA device-model misuse (bad coordinates, missing sites...)."""
+
+
+class ImplementationError(ReproError):
+    """Packing, placement or routing failure."""
+
+
+class PlacementError(ImplementationError):
+    """The placer could not legally place the netlist on the device."""
+
+
+class RoutingError(ImplementationError):
+    """The global router failed to route the placed netlist."""
+
+
+class BacktraceError(ReproError):
+    """Back-tracing congestion metrics to IR operations failed."""
+
+
+class FeatureError(ReproError):
+    """Feature-extraction failure (unknown feature, bad graph...)."""
+
+
+class DatasetError(ReproError):
+    """Dataset assembly or filtering failure."""
+
+
+class MLError(ReproError):
+    """Machine-learning model misuse (unfitted model, bad shapes...)."""
+
+
+class NotFittedError(MLError):
+    """An estimator was used before calling ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""
+
+
+class FlowError(ReproError):
+    """End-to-end C-to-FPGA flow orchestration failure."""

@@ -1,0 +1,27 @@
+"""The 302-feature Table II registry and extractor."""
+
+from repro.features.registry import (
+    FeatureCategory,
+    FeatureSpec,
+    FEATURES,
+    N_FEATURES,
+    feature_names,
+    feature_index,
+    features_in_category,
+    category_counts,
+    category_indices,
+)
+from repro.features.extract import FeatureExtractor
+
+__all__ = [
+    "FeatureCategory",
+    "FeatureSpec",
+    "FEATURES",
+    "N_FEATURES",
+    "feature_names",
+    "feature_index",
+    "features_in_category",
+    "category_counts",
+    "category_indices",
+    "FeatureExtractor",
+]

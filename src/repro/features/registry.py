@@ -1,0 +1,215 @@
+"""Feature registry: the paper's Table II contract.
+
+"To capture the characteristics of each operation in different designs,
+we extract 302 related features and divide them into seven categories."
+
+The registry enumerates every feature with a stable name and category tag,
+in a fixed order shared by the extractor and the trained models.  The
+category structure (and the resulting total of exactly 302) is:
+
+=====================  =====  =========================================
+Category               Count  Structure
+=====================  =====  =========================================
+Bitwidth                   1  operation bitwidth
+Interconnection           18  9 one-hop + 9 two-hop connectivity metrics
+Resource                  76  19 per resource type (LUT/FF/DSP/BRAM)
+Timing                     2  delay (ns), latency (cycles)
+#Resource/ΔTcs            48  12 per resource type
+Operator type            112  56-opcode one-hot + 56 neighbour counts
+Global information        45  Ftop/Fop resources, clocks, mems, muxes
+=====================  =====  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import FeatureError
+from repro.hls.opchar import RESOURCE_KINDS
+from repro.ir.opcodes import opcode_names
+
+
+class FeatureCategory(Enum):
+    """The paper's seven feature categories (Table II)."""
+
+    BITWIDTH = "Bitwidth"
+    INTERCONNECTION = "Interconnection"
+    RESOURCE = "Resource"
+    TIMING = "Timing"
+    RESOURCE_DT = "#Resource/dTcs"
+    OPTYPE = "Operator Type"
+    GLOBAL = "Global Information"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One feature: position, name and category."""
+
+    index: int
+    name: str
+    category: FeatureCategory
+
+
+_INTERCONNECTION_METRICS = (
+    "fan_in",
+    "fan_out",
+    "fan_total",
+    "n_pred",
+    "n_succ",
+    "n_neigh",
+    "max_edge_wires",
+    "max_in_edge_pct_fan_in",
+    "max_out_edge_pct_fan_out",
+)
+
+_RESOURCE_SELF_METRICS = (
+    "usage",
+    "util_device",
+    "util_function",
+)
+
+_RESOURCE_HOP_METRICS = (
+    "pred_usage",
+    "succ_usage",
+    "neigh_usage",
+    "pred_util_device",
+    "succ_util_device",
+    "neigh_util_device",
+    "max_neigh_usage",
+    "max_neigh_usage_pct",
+)
+
+_RESOURCE_DT_HOP_METRICS = (
+    "pred_usage_dt",
+    "succ_usage_dt",
+    "total_usage_dt",
+    "pred_util_dt",
+    "succ_util_dt",
+    "total_util_dt",
+)
+
+_TIMING_METRICS = ("delay_ns", "latency_cycles")
+
+_GLOBAL_METRICS = tuple(
+    # Ftop resources: usage + device utilization          (8)
+    [f"ftop_{kind.lower()}" for kind in RESOURCE_KINDS]
+    + [f"ftop_{kind.lower()}_util" for kind in RESOURCE_KINDS]
+    # Fop resources: usage + device utilization + % of Ftop (12)
+    + [f"fop_{kind.lower()}" for kind in RESOURCE_KINDS]
+    + [f"fop_{kind.lower()}_util" for kind in RESOURCE_KINDS]
+    + [f"fop_{kind.lower()}_pct_of_top" for kind in RESOURCE_KINDS]
+    # clocks                                               (6)
+    + [
+        "ftop_target_clock_ns",
+        "ftop_clock_uncertainty_ns",
+        "ftop_estimated_clock_ns",
+        "fop_target_clock_ns",
+        "fop_clock_uncertainty_ns",
+        "fop_estimated_clock_ns",
+    ]
+    # latencies                                            (3)
+    + ["ftop_latency", "fop_latency", "fop_latency_pct_of_top"]
+    # memories                                             (8)
+    + [
+        "fop_mem_words", "fop_mem_banks", "fop_mem_bits", "fop_mem_primitives",
+        "ftop_mem_words", "ftop_mem_banks", "ftop_mem_bits",
+        "ftop_mem_primitives",
+    ]
+    # multiplexers                                         (8)
+    + [
+        "fop_mux_count", "fop_mux_lut", "fop_mux_mean_inputs",
+        "fop_mux_mean_bitwidth",
+        "ftop_mux_count", "ftop_mux_lut", "ftop_mux_mean_inputs",
+        "ftop_mux_mean_bitwidth",
+    ]
+)
+
+
+def _build_registry() -> tuple[FeatureSpec, ...]:
+    specs: list[FeatureSpec] = []
+
+    def add(name: str, category: FeatureCategory) -> None:
+        specs.append(FeatureSpec(len(specs), name, category))
+
+    # 1. Bitwidth (1)
+    add("bitwidth", FeatureCategory.BITWIDTH)
+
+    # 2. Interconnection (18)
+    for hop in ("1hop", "2hop"):
+        for metric in _INTERCONNECTION_METRICS:
+            add(f"ic_{hop}_{metric}", FeatureCategory.INTERCONNECTION)
+
+    # 3. Resource (76 = (3 + 8 + 8) * 4)
+    for kind in RESOURCE_KINDS:
+        k = kind.lower()
+        for metric in _RESOURCE_SELF_METRICS:
+            add(f"res_{k}_{metric}", FeatureCategory.RESOURCE)
+        for hop in ("1hop", "2hop"):
+            for metric in _RESOURCE_HOP_METRICS:
+                add(f"res_{k}_{hop}_{metric}", FeatureCategory.RESOURCE)
+
+    # 4. Timing (2)
+    for metric in _TIMING_METRICS:
+        add(f"timing_{metric}", FeatureCategory.TIMING)
+
+    # 5. #Resource/dTcs (48 = (6 + 6) * 4)
+    for kind in RESOURCE_KINDS:
+        k = kind.lower()
+        for hop in ("1hop", "2hop"):
+            for metric in _RESOURCE_DT_HOP_METRICS:
+                add(f"rdt_{k}_{hop}_{metric}", FeatureCategory.RESOURCE_DT)
+
+    # 6. Operator type (112 = 56 + 56)
+    for opcode in opcode_names():
+        add(f"optype_is_{opcode}", FeatureCategory.OPTYPE)
+    for opcode in opcode_names():
+        add(f"optype_neigh_{opcode}", FeatureCategory.OPTYPE)
+
+    # 7. Global information (45)
+    for metric in _GLOBAL_METRICS:
+        add(f"global_{metric}", FeatureCategory.GLOBAL)
+
+    return tuple(specs)
+
+
+#: The full ordered feature registry.
+FEATURES: tuple[FeatureSpec, ...] = _build_registry()
+
+#: Total feature count — the paper's 302 (locked by tests).
+N_FEATURES: int = len(FEATURES)
+
+_INDEX_BY_NAME = {spec.name: spec.index for spec in FEATURES}
+
+
+def feature_names() -> tuple[str, ...]:
+    """All feature names in vector order."""
+    return tuple(spec.name for spec in FEATURES)
+
+
+def feature_index(name: str) -> int:
+    """Vector index of feature ``name``."""
+    if name not in _INDEX_BY_NAME:
+        raise FeatureError(f"unknown feature {name!r}")
+    return _INDEX_BY_NAME[name]
+
+
+def features_in_category(category: FeatureCategory) -> tuple[FeatureSpec, ...]:
+    """All feature specs tagged with ``category``."""
+    return tuple(spec for spec in FEATURES if spec.category is category)
+
+
+def category_counts() -> dict[FeatureCategory, int]:
+    """Feature count per category (the Table II row structure)."""
+    counts: dict[FeatureCategory, int] = {c: 0 for c in FeatureCategory}
+    for spec in FEATURES:
+        counts[spec.category] += 1
+    return counts
+
+
+def category_indices() -> dict[FeatureCategory, list[int]]:
+    """Vector indices per category (used by importance aggregation)."""
+    indices: dict[FeatureCategory, list[int]] = {c: [] for c in FeatureCategory}
+    for spec in FEATURES:
+        indices[spec.category].append(spec.index)
+    return indices

@@ -1,0 +1,10 @@
+"""End-to-end C-to-FPGA flow orchestration."""
+
+from repro.flow.c_to_fpga import (
+    FlowOptions,
+    FlowResult,
+    run_flow,
+    run_flow_on_design,
+)
+
+__all__ = ["FlowOptions", "FlowResult", "run_flow", "run_flow_on_design"]

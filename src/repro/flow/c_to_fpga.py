@@ -1,0 +1,181 @@
+"""The complete C-to-FPGA flow (the paper's label-generation run).
+
+One ``run_flow`` call is the library's equivalent of "run one time of the
+complete C-to-FPGA flow to obtain the routing congestion metrics": HLS
+synthesis, RTL elaboration, packing, placement, routing, timing and
+back-tracing, with per-stage wall-clock accounting (the paper contrasts
+the hours-long PAR against minutes of HLS and instant model inference).
+
+Results are cached per (kernel, variant, scale, seed, effort) in a
+process-wide store because several tables reuse the same implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.backtrace.trace import BacktraceResult, Backtracer
+from repro.fpga.device import Device, xc7z020
+from repro.graph.depgraph import DependencyGraph, build_dependency_graph
+from repro.hls.scheduling import ClockConstraint
+from repro.hls.synthesis import HLSResult, synthesize
+from repro.impl.packing import Packing, pack_netlist
+from repro.impl.placement import Placement, PlacementOptions, place_netlist
+from repro.impl.routing import CongestionMap, RoutingOptions, route_design
+from repro.impl.timing import TimingAnalyzer, TimingParams, TimingReport
+from repro.kernels.combos import build_combined, build_kernel
+from repro.kernels.common import KernelDesign
+from repro.rtl.generate import generate_netlist
+from repro.rtl.netlist import Netlist
+from repro.util.cache import cached_property_store
+
+
+@dataclass
+class FlowOptions:
+    """Knobs for one C-to-FPGA run."""
+
+    scale: float = 1.0
+    seed: int = 0
+    placement_effort: str = "fast"
+    clock_period_ns: float = 10.0
+    clock_uncertainty_ns: float = 1.25
+    merge_shared: bool = True
+    allow_sharing: bool = True
+
+    def cache_key(self, name: str, variant: str) -> tuple:
+        return (
+            name, variant, self.scale, self.seed, self.placement_effort,
+            self.clock_period_ns, self.clock_uncertainty_ns,
+            self.merge_shared, self.allow_sharing,
+        )
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow run produces."""
+
+    design: KernelDesign
+    device: Device
+    hls: HLSResult
+    netlist: Netlist
+    packing: Packing
+    placement: Placement
+    congestion: CongestionMap
+    timing: TimingReport
+    graph: DependencyGraph
+    labels: BacktraceResult
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def backtracer(self) -> Backtracer:
+        return Backtracer(
+            self.design.module, self.netlist, self.packing,
+            self.placement, self.congestion,
+        )
+
+    def summary(self) -> dict:
+        """One-line metrics used by the benchmark tables."""
+        return {
+            "name": self.design.name,
+            "variant": self.design.variant,
+            "ops": self.design.module.n_ops(),
+            "latency_cycles": self.hls.latency_cycles,
+            "lut": self.hls.top_report.hierarchical_resources["LUT"],
+            "wns_ns": self.timing.wns_ns,
+            "fmax_mhz": self.timing.max_frequency_mhz,
+            "max_v_congestion": self.congestion.max_vertical(),
+            "max_h_congestion": self.congestion.max_horizontal(),
+            "n_congested": self.congestion.n_congested(),
+            "n_samples": self.labels.n_samples(),
+            "flow_seconds": sum(self.stage_seconds.values()),
+        }
+
+
+def run_flow_on_design(
+    design: KernelDesign,
+    device: Device | None = None,
+    options: FlowOptions | None = None,
+) -> FlowResult:
+    """Run the complete implementation flow on an already-built design."""
+    options = options or FlowOptions()
+    device = device or xc7z020()
+    stage_seconds: dict[str, float] = {}
+
+    def timed(stage: str, fn):
+        start = time.perf_counter()
+        result = fn()
+        stage_seconds[stage] = time.perf_counter() - start
+        return result
+
+    clock = ClockConstraint(options.clock_period_ns,
+                            options.clock_uncertainty_ns)
+    hls = timed("hls", lambda: synthesize(
+        design.module, design.directives, clock=clock,
+        allow_sharing=options.allow_sharing,
+    ))
+    netlist = timed("rtl", lambda: generate_netlist(hls))
+    packing = timed("pack", lambda: pack_netlist(netlist, device))
+    placement = timed("place", lambda: place_netlist(
+        netlist, packing, device,
+        PlacementOptions(effort=options.placement_effort, seed=options.seed),
+    ))
+    congestion = timed("route", lambda: route_design(
+        netlist, packing, placement, device, RoutingOptions()
+    ))
+    logic_delay = max(
+        s.critical_delay_ns for s in hls.schedule.functions.values()
+    )
+    timing = timed("sta", lambda: TimingAnalyzer(device, TimingParams()).analyze(
+        netlist, packing, placement, congestion,
+        logic_delay_ns=logic_delay,
+        target_period_ns=clock.period_ns,
+        uncertainty_ns=clock.uncertainty_ns,
+    ))
+    graph = timed("graph", lambda: build_dependency_graph(
+        design.module, hls.bindings if options.merge_shared else None,
+        merge_shared=options.merge_shared,
+    ))
+    labels = timed("backtrace", lambda: Backtracer(
+        design.module, netlist, packing, placement, congestion
+    ).label_operations())
+
+    return FlowResult(
+        design=design,
+        device=device,
+        hls=hls,
+        netlist=netlist,
+        packing=packing,
+        placement=placement,
+        congestion=congestion,
+        timing=timing,
+        graph=graph,
+        labels=labels,
+        stage_seconds=stage_seconds,
+    )
+
+
+def run_flow(
+    name: str,
+    variant: str = "baseline",
+    *,
+    device: Device | None = None,
+    options: FlowOptions | None = None,
+    combined: bool = True,
+    use_cache: bool = True,
+) -> FlowResult:
+    """Build (by kernel/combination name) and implement one design."""
+    options = options or FlowOptions()
+    store = cached_property_store("flow_results")
+    key = options.cache_key(name, variant)
+
+    def build_and_run() -> FlowResult:
+        if combined:
+            design = build_combined(name, scale=options.scale, variant=variant)
+        else:
+            design = build_kernel(name, scale=options.scale, variant=variant)
+        return run_flow_on_design(design, device, options)
+
+    if not use_cache:
+        return build_and_run()
+    return store.get_or_build(key, build_and_run)

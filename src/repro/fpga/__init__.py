@@ -1,0 +1,11 @@
+"""FPGA device models (Zynq XC7Z020-class column fabric)."""
+
+from repro.fpga.device import (
+    TileType,
+    TileCapacity,
+    Device,
+    xc7z020,
+    small_test_device,
+)
+
+__all__ = ["TileType", "TileCapacity", "Device", "xc7z020", "small_test_device"]

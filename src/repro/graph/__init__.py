@@ -1,0 +1,9 @@
+"""Operation dependency graph with sharing-aware merging and port nodes."""
+
+from repro.graph.depgraph import (
+    NodeInfo,
+    DependencyGraph,
+    build_dependency_graph,
+)
+
+__all__ = ["NodeInfo", "DependencyGraph", "build_dependency_graph"]

@@ -1,0 +1,65 @@
+"""High-level synthesis layer: characterization, directives, scheduling,
+binding, memory mapping, FSM generation and reports."""
+
+from repro.hls.opchar import (
+    RESOURCE_KINDS,
+    DSP_MUL_THRESHOLD,
+    OperatorSpec,
+    OperatorLibrary,
+    DEFAULT_LIBRARY,
+)
+from repro.hls.directives import (
+    DirectiveSet,
+    InlineDirective,
+    UnrollDirective,
+    PipelineDirective,
+    ArrayPartitionDirective,
+)
+from repro.hls.scheduling import (
+    ClockConstraint,
+    FunctionSchedule,
+    ModuleSchedule,
+    Scheduler,
+)
+from repro.hls.binding import (
+    FunctionalUnit,
+    MuxInstance,
+    FunctionBinding,
+    Binder,
+    bind_module,
+    is_shareable,
+)
+from repro.hls.memories import MemoryBank, MemoryMap, map_array, map_function_memories
+from repro.hls.fsm import FSMInfo, generate_fsm
+from repro.hls.report import (
+    MuxSummary,
+    MemorySummary,
+    FunctionReport,
+    build_function_report,
+    roll_up_hierarchy,
+)
+from repro.hls.synthesis import HLSResult, synthesize
+from repro.hls.transforms import (
+    inline_functions,
+    unroll_loop,
+    apply_unrolls,
+    apply_partitions,
+    apply_directives,
+)
+
+__all__ = [
+    "RESOURCE_KINDS", "DSP_MUL_THRESHOLD", "OperatorSpec", "OperatorLibrary",
+    "DEFAULT_LIBRARY",
+    "DirectiveSet", "InlineDirective", "UnrollDirective", "PipelineDirective",
+    "ArrayPartitionDirective",
+    "ClockConstraint", "FunctionSchedule", "ModuleSchedule", "Scheduler",
+    "FunctionalUnit", "MuxInstance", "FunctionBinding", "Binder",
+    "bind_module", "is_shareable",
+    "MemoryBank", "MemoryMap", "map_array", "map_function_memories",
+    "FSMInfo", "generate_fsm",
+    "MuxSummary", "MemorySummary", "FunctionReport", "build_function_report",
+    "roll_up_hierarchy",
+    "HLSResult", "synthesize",
+    "inline_functions", "unroll_loop", "apply_unrolls", "apply_partitions",
+    "apply_directives",
+]

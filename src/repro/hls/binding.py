@@ -1,0 +1,247 @@
+"""Operation-to-functional-unit binding with resource sharing.
+
+HLS "binds operations to functional units based on characterized
+libraries" (paper Fig. 3).  Expensive operators scheduled into disjoint
+control-state intervals share one RTL module; the paper's dependency graph
+then *merges* the sharing operations into one combined node (Fig. 4), and
+the multiplexers inserted at shared-unit inputs are counted as global
+features (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BindingError
+from repro.hls.opchar import OperatorLibrary, OperatorSpec, DEFAULT_LIBRARY
+from repro.hls.scheduling import FunctionSchedule
+from repro.ir.function import Function
+from repro.ir.operation import Operation
+
+#: Widths are bucketed so e.g. a 13-bit and a 16-bit multiply can share.
+_WIDTH_BUCKET = 8
+
+
+def _bucket(width: int) -> int:
+    return max(_WIDTH_BUCKET, -(-width // _WIDTH_BUCKET) * _WIDTH_BUCKET)
+
+
+def is_shareable(spec: OperatorSpec) -> bool:
+    """Sharing policy: only units that are worth a multiplexer.
+
+    Mirrors Vivado HLS defaults: DSP-mapped and multi-cycle units and large
+    fabric operators are shared; trivial LUT logic is not.
+    """
+    if spec.dsp > 0:
+        return True
+    if spec.latency_cycles >= 2:
+        return True
+    return spec.lut >= 96
+
+
+@dataclass
+class FunctionalUnit:
+    """One RTL module instance executing one or more IR operations."""
+
+    fu_id: int
+    function: str
+    opcode: str
+    width: int
+    spec: OperatorSpec
+    op_uids: list[int] = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.op_uids)
+
+    @property
+    def is_shared(self) -> bool:
+        return self.n_ops > 1
+
+
+@dataclass(frozen=True)
+class MuxInstance:
+    """A multiplexer synthesized at a shared resource input."""
+
+    function: str
+    n_inputs: int
+    width: int
+    lut: int
+    reason: str  # "fu_input" or "mem_port"
+
+
+@dataclass
+class FunctionBinding:
+    """Binding result for one function."""
+
+    function: str
+    units: list[FunctionalUnit] = field(default_factory=list)
+    fu_of_op: dict[int, int] = field(default_factory=dict)
+    muxes: list[MuxInstance] = field(default_factory=list)
+
+    def unit(self, fu_id: int) -> FunctionalUnit:
+        return self.units[fu_id]
+
+    def unit_of(self, op_uid: int) -> FunctionalUnit:
+        if op_uid not in self.fu_of_op:
+            raise BindingError(f"operation uid {op_uid} is not bound")
+        return self.units[self.fu_of_op[op_uid]]
+
+    def shared_groups(self) -> list[list[int]]:
+        """Op-uid groups that share one unit (inputs to Fig. 4 merging)."""
+        return [u.op_uids for u in self.units if u.is_shared]
+
+    def n_muxes(self) -> int:
+        return len(self.muxes)
+
+    def mux_lut_total(self) -> int:
+        return sum(m.lut for m in self.muxes)
+
+
+class Binder:
+    """Greedy interval binder (left-edge style) under a sharing policy."""
+
+    def __init__(self, library: OperatorLibrary = DEFAULT_LIBRARY) -> None:
+        self.library = library
+
+    def bind_function(
+        self,
+        func: Function,
+        schedule: FunctionSchedule,
+        *,
+        allow_sharing: bool = True,
+    ) -> FunctionBinding:
+        """Bind every operation of ``func`` to a functional unit."""
+        binding = FunctionBinding(function=func.name)
+        pipelined = self._pipelined_uids(func)
+
+        shareable_pool: dict[tuple[str, int], list[FunctionalUnit]] = {}
+        fu_last_end: dict[int, int] = {}
+
+        for op in func.operations:
+            spec = self.library.spec_for(op)
+            start = schedule.op_start[op.uid]
+            end = schedule.op_end[op.uid]
+            # A pipelined/multi-cycle unit is busy until the state before
+            # its registered result appears; combinational units occupy
+            # their single state.
+            busy_end = end - 1 if end > start else end
+
+            can_share = (
+                allow_sharing
+                and is_shareable(spec)
+                and op.uid not in pipelined
+                and op.opcode not in ("load", "store", "call")
+            )
+            unit = None
+            if can_share:
+                key = (op.opcode, _bucket(op.bitwidth()))
+                for candidate in shareable_pool.get(key, []):
+                    if fu_last_end[candidate.fu_id] < start:
+                        unit = candidate
+                        break
+            if unit is None:
+                width = (
+                    _bucket(op.bitwidth()) if can_share else op.bitwidth()
+                )
+                unit_spec = (
+                    self.library.characterize(op.opcode, width)
+                    if can_share else spec
+                )
+                unit = FunctionalUnit(
+                    fu_id=len(binding.units),
+                    function=func.name,
+                    opcode=op.opcode,
+                    width=width,
+                    spec=unit_spec,
+                )
+                binding.units.append(unit)
+                if can_share:
+                    shareable_pool.setdefault(
+                        (op.opcode, _bucket(op.bitwidth())), []
+                    ).append(unit)
+            unit.op_uids.append(op.uid)
+            fu_last_end[unit.fu_id] = busy_end
+            binding.fu_of_op[op.uid] = unit.fu_id
+
+        self._synthesize_fu_muxes(func, binding)
+        self._synthesize_memory_muxes(func, binding, schedule)
+        return binding
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pipelined_uids(func: Function) -> set[int]:
+        uids: set[int] = set()
+        for loop in func.loops.values():
+            if loop.pipelined:
+                uids |= loop.op_uids
+        return uids
+
+    def _synthesize_fu_muxes(self, func: Function, binding: FunctionBinding) -> None:
+        """Each input port of a shared unit gets an n:1 mux."""
+        for unit in binding.units:
+            if not unit.is_shared:
+                continue
+            first = func.op(unit.op_uids[0])
+            n_ports = max(1, len(first.operands))
+            mux_spec = self.library.mux_spec(max(2, unit.n_ops), unit.width)
+            for _ in range(n_ports):
+                binding.muxes.append(
+                    MuxInstance(
+                        function=func.name,
+                        n_inputs=unit.n_ops,
+                        width=unit.width,
+                        lut=mux_spec.lut,
+                        reason="fu_input",
+                    )
+                )
+
+    def _synthesize_memory_muxes(
+        self,
+        func: Function,
+        binding: FunctionBinding,
+        schedule: FunctionSchedule,
+    ) -> None:
+        """Banked memories with multiple accessors need port muxes."""
+        accessors: dict[str, list[Operation]] = {}
+        for op in func.operations:
+            if op.opcode in ("load", "store"):
+                array = op.attrs.get("array")
+                if array:
+                    accessors.setdefault(array, []).append(op)
+        for array, ops in accessors.items():
+            decl = func.arrays.get(array)
+            if decl is None or decl.is_registers:
+                continue
+            per_port = -(-len(ops) // (decl.banks * 2))
+            if per_port <= 1:
+                continue
+            width = max(decl.bits, 1)
+            mux_spec = self.library.mux_spec(max(2, per_port), width)
+            for _ in range(decl.banks * 2):
+                binding.muxes.append(
+                    MuxInstance(
+                        function=func.name,
+                        n_inputs=per_port,
+                        width=width,
+                        lut=mux_spec.lut,
+                        reason="mem_port",
+                    )
+                )
+
+
+def bind_module(
+    module,
+    schedules,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    *,
+    allow_sharing: bool = True,
+) -> dict[str, FunctionBinding]:
+    """Bind every function in ``module``; returns name -> binding."""
+    binder = Binder(library)
+    return {
+        name: binder.bind_function(
+            func, schedules.for_function(name), allow_sharing=allow_sharing
+        )
+        for name, func in module.functions.items()
+    }

@@ -1,0 +1,48 @@
+"""Finite-state-machine generation.
+
+HLS "generates the RTL data path and FSM" (paper Fig. 3).  We only need
+the FSM's resource footprint (it competes for CLBs with the datapath) and
+its state count (it is the control-state axis ΔTcs is measured on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hls.scheduling import FunctionSchedule
+
+#: Below this state count Vivado prefers one-hot encoding.
+_ONE_HOT_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class FSMInfo:
+    """Control FSM summary for one function."""
+
+    function: str
+    n_states: int
+    encoding: str      # "one_hot" or "binary"
+    ff: int
+    lut: int
+
+
+def generate_fsm(schedule: FunctionSchedule) -> FSMInfo:
+    """Derive the control FSM implied by a function schedule."""
+    n_states = max(1, schedule.n_states)
+    if n_states <= _ONE_HOT_LIMIT:
+        encoding = "one_hot"
+        ff = n_states
+        lut = max(1, n_states // 2)
+    else:
+        encoding = "binary"
+        ff = max(1, math.ceil(math.log2(n_states)))
+        # Binary FSMs pay decode logic roughly linear in transitions.
+        lut = max(1, n_states // 4 + ff)
+    return FSMInfo(
+        function=schedule.function,
+        n_states=n_states,
+        encoding=encoding,
+        ff=ff,
+        lut=lut,
+    )

@@ -1,0 +1,186 @@
+"""HLS synthesis reports.
+
+Vivado HLS emits per-function estimates of resources, latency and timing;
+the paper's *Global Information* feature category reads exactly these
+(Table II): resource usage of the top function and of the operation's own
+function, target/estimated clock and uncertainty, memory and multiplexer
+summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.binding import FunctionBinding
+from repro.hls.fsm import FSMInfo
+from repro.hls.memories import MemoryMap
+from repro.hls.opchar import RESOURCE_KINDS, OperatorLibrary
+from repro.hls.scheduling import ClockConstraint, FunctionSchedule
+from repro.ir.function import Function
+
+
+@dataclass
+class MuxSummary:
+    """Multiplexer statistics for one function (a Table II global block)."""
+
+    count: int = 0
+    lut: int = 0
+    total_inputs: int = 0
+    total_bitwidth: int = 0
+
+    @property
+    def mean_inputs(self) -> float:
+        return self.total_inputs / self.count if self.count else 0.0
+
+    @property
+    def mean_bitwidth(self) -> float:
+        return self.total_bitwidth / self.count if self.count else 0.0
+
+
+@dataclass
+class MemorySummary:
+    """Memory statistics for one function (a Table II global block)."""
+
+    words: int = 0
+    banks: int = 0
+    bits: int = 0
+    primitives: int = 0
+
+
+@dataclass
+class FunctionReport:
+    """Per-function HLS report (exclusive of callees unless noted)."""
+
+    function: str
+    resources: dict[str, int] = field(default_factory=dict)
+    #: includes all callee instances transitively
+    hierarchical_resources: dict[str, int] = field(default_factory=dict)
+    latency_cycles: int = 0
+    n_states: int = 0
+    target_clock_ns: float = 0.0
+    clock_uncertainty_ns: float = 0.0
+    estimated_clock_ns: float = 0.0
+    muxes: MuxSummary = field(default_factory=MuxSummary)
+    memories: MemorySummary = field(default_factory=MemorySummary)
+
+    def resource(self, kind: str) -> int:
+        return self.resources.get(kind, 0)
+
+
+def _zero_resources() -> dict[str, int]:
+    return {kind: 0 for kind in RESOURCE_KINDS}
+
+
+def _add(into: dict[str, int], other: dict[str, int]) -> None:
+    for kind in RESOURCE_KINDS:
+        into[kind] = into.get(kind, 0) + other.get(kind, 0)
+
+
+def _register_ffs(func: Function, schedule: FunctionSchedule,
+                  library: OperatorLibrary) -> int:
+    """FF bits for values that cross a control-state boundary.
+
+    Operations with pipeline latency already register their output in the
+    characterized spec, so only combinational results are counted here.
+    """
+    total = 0
+    for op in func.operations:
+        if op.result is None or not op.result.users:
+            continue
+        if library.spec_for(op).latency_cycles >= 1:
+            continue
+        crosses = any(
+            schedule.op_start[user.uid] > schedule.op_end[op.uid]
+            for user in op.result.users
+            if user.uid in schedule.op_start
+        )
+        if crosses:
+            total += op.result.bitwidth()
+    return total
+
+
+def build_function_report(
+    func: Function,
+    schedule: FunctionSchedule,
+    binding: FunctionBinding,
+    memory_map: MemoryMap,
+    fsm: FSMInfo,
+    clock: ClockConstraint,
+    library: OperatorLibrary,
+) -> FunctionReport:
+    """Aggregate one function's HLS artifacts into a report."""
+    report = FunctionReport(function=func.name)
+    resources = _zero_resources()
+
+    for unit in binding.units:
+        _add(resources, unit.spec.resources())
+
+    mux = MuxSummary()
+    for m in binding.muxes:
+        mux.count += 1
+        mux.lut += m.lut
+        mux.total_inputs += m.n_inputs
+        mux.total_bitwidth += m.width
+    resources["LUT"] += mux.lut
+
+    mem = MemorySummary(
+        words=memory_map.total_words,
+        banks=memory_map.n_banks,
+        bits=memory_map.total_bits,
+        primitives=memory_map.total_primitives,
+    )
+    resources["BRAM"] += memory_map.total_bram18
+    resources["LUT"] += memory_map.total_lut
+    resources["FF"] += memory_map.total_ff
+
+    resources["FF"] += fsm.ff + _register_ffs(func, schedule, library)
+    resources["LUT"] += fsm.lut
+
+    report.resources = resources
+    report.hierarchical_resources = dict(resources)  # callees added later
+    report.latency_cycles = schedule.latency_cycles
+    report.n_states = schedule.n_states
+    report.target_clock_ns = clock.period_ns
+    report.clock_uncertainty_ns = clock.uncertainty_ns
+    # HLS-style estimate: slowest chained path plus half the uncertainty
+    # margin, floored well below the target (tiny functions report small
+    # estimates, exactly like Vivado HLS).
+    report.estimated_clock_ns = max(
+        schedule.critical_delay_ns + 0.5 * clock.uncertainty_ns,
+        0.25 * clock.period_ns,
+    )
+    report.muxes = mux
+    report.memories = mem
+    return report
+
+
+def roll_up_hierarchy(module, reports: dict[str, FunctionReport]) -> None:
+    """Fold callee resources into callers' hierarchical totals.
+
+    One callee instance is counted per call site, matching how HLS
+    instantiates a module per call (no cross-call sharing).
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        if state.get(name) == 2:
+            return
+        state[name] = 1
+        for callee in module.functions[name].callees:
+            if callee in module.functions and state.get(callee) != 1:
+                visit(callee)
+        state[name] = 2
+        order.append(name)
+
+    for name in module.functions:
+        visit(name)
+
+    for name in order:
+        func = module.functions[name]
+        total = dict(reports[name].resources)
+        for op in func.ops_of("call"):
+            callee = op.attrs.get("callee")
+            if callee in reports:
+                _add(total, reports[callee].hierarchical_resources)
+        reports[name].hierarchical_resources = total

@@ -1,0 +1,310 @@
+"""Resource-constrained list scheduling with operation chaining.
+
+HLS "schedules IR operations to different control states" (paper Fig. 3).
+The schedule produced here drives three things downstream:
+
+* the ΔTcs quantities of the #Resource/ΔTcs feature category (distance in
+  control states between dependent operations, Section III-B3);
+* each operation's latency feature (Timing category);
+* the design latency reported in Tables I/III/VI.
+
+The scheduler walks each function's dataflow DAG in topological order
+(function op order is constructed topologically), chains combinational
+operations inside one control state while the clock budget allows, and
+legalizes memory-port and DSP contention by delaying operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.hls.opchar import OperatorLibrary, DEFAULT_LIBRARY
+from repro.ir.function import Function, Loop
+from repro.ir.module import Module
+
+#: Registered-output arrival offset inside a state (clock-to-out, ns).
+_CLK_TO_OUT_NS = 0.4
+
+#: BRAM ports available per memory bank (7-series true dual port).
+_PORTS_PER_BANK = 2
+
+
+@dataclass(frozen=True)
+class ClockConstraint:
+    """Target clock for synthesis (Vivado HLS style)."""
+
+    period_ns: float = 10.0
+    uncertainty_ns: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0:
+            raise SchedulingError(f"clock period must be positive: {self.period_ns}")
+        if not 0 <= self.uncertainty_ns < self.period_ns:
+            raise SchedulingError(
+                f"uncertainty {self.uncertainty_ns} outside [0, period)"
+            )
+
+    @property
+    def budget_ns(self) -> float:
+        """Usable combinational delay per control state."""
+        return self.period_ns - self.uncertainty_ns
+
+
+@dataclass
+class FunctionSchedule:
+    """Scheduling result for one function."""
+
+    function: str
+    op_start: dict[int, int] = field(default_factory=dict)
+    op_end: dict[int, int] = field(default_factory=dict)
+    op_arrival_ns: dict[int, float] = field(default_factory=dict)
+    n_states: int = 1
+    #: total cycles including loop iteration counts
+    latency_cycles: int = 0
+    #: critical combinational path found while chaining (ns)
+    critical_delay_ns: float = 0.0
+
+    def delta_tcs(self, producer_uid: int, consumer_uid: int) -> int:
+        """Control-state distance ΔTcs between two dependent operations.
+
+        Defined as ``max(1, start(consumer) - end(producer))`` — a chained
+        pair still has distance one state budget apart for feature purposes
+        (the paper divides by ΔTcs, so zero is excluded).
+        """
+        gap = self.op_start[consumer_uid] - self.op_end[producer_uid]
+        return max(1, gap)
+
+    def span(self, uids) -> tuple[int, int]:
+        """(min start, max end) over ``uids``; (0, 0) when empty."""
+        uids = [u for u in uids if u in self.op_start]
+        if not uids:
+            return (0, 0)
+        return (
+            min(self.op_start[u] for u in uids),
+            max(self.op_end[u] for u in uids),
+        )
+
+
+@dataclass
+class ModuleSchedule:
+    """Per-function schedules plus module-level roll-ups."""
+
+    clock: ClockConstraint
+    functions: dict[str, FunctionSchedule] = field(default_factory=dict)
+
+    def for_function(self, name: str) -> FunctionSchedule:
+        if name not in self.functions:
+            raise SchedulingError(f"no schedule for function {name!r}")
+        return self.functions[name]
+
+    @property
+    def top_latency(self) -> int:
+        """Latency of the lexically-last scheduled function set's top."""
+        # Populated by schedule_module; stored under "__top__" alias.
+        return self.functions["__top__"].latency_cycles
+
+
+def _callee_order(module: Module) -> list[str]:
+    """Functions sorted callee-first so call latencies are available."""
+    order: list[str] = []
+    state: dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        if state.get(name) == 2:
+            return
+        if state.get(name) == 1:
+            raise SchedulingError(f"recursive call cycle through {name!r}")
+        state[name] = 1
+        for callee in module.functions[name].callees:
+            if callee in module.functions:
+                visit(callee)
+        state[name] = 2
+        order.append(name)
+
+    for name in module.functions:
+        visit(name)
+    return order
+
+
+class Scheduler:
+    """List scheduler for a module under one clock constraint."""
+
+    def __init__(
+        self,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+        clock: ClockConstraint | None = None,
+        *,
+        dsp_limit: int | None = 220,
+    ) -> None:
+        self.library = library
+        self.clock = clock or ClockConstraint()
+        self.dsp_limit = dsp_limit
+
+    # ------------------------------------------------------------------
+    def schedule_module(self, module: Module) -> ModuleSchedule:
+        """Schedule every function (callee-first) and roll up latency."""
+        result = ModuleSchedule(clock=self.clock)
+        callee_latency: dict[str, int] = {}
+        for name in _callee_order(module):
+            func = module.functions[name]
+            sched = self.schedule_function(func, callee_latency)
+            result.functions[name] = sched
+            callee_latency[name] = sched.latency_cycles
+        top = module.top.name
+        result.functions["__top__"] = result.functions[top]
+        return result
+
+    # ------------------------------------------------------------------
+    def schedule_function(
+        self,
+        func: Function,
+        callee_latency: dict[str, int] | None = None,
+    ) -> FunctionSchedule:
+        """Schedule one function's dataflow DAG."""
+        callee_latency = callee_latency or {}
+        clock_budget = self.clock.budget_ns
+        sched = FunctionSchedule(function=func.name)
+
+        pipelined_uids = self._pipelined_uids(func)
+        mem_limit = {
+            name: max(1, decl.banks) * _PORTS_PER_BANK
+            if not decl.is_registers else None
+            for name, decl in func.arrays.items()
+        }
+        mem_usage: dict[tuple[str, int], int] = {}
+        dsp_usage: dict[int, int] = {}
+
+        for op in func.operations:
+            spec = self.library.spec_for(op)
+            latency = spec.latency_cycles
+            if op.opcode == "call":
+                latency = max(1, callee_latency.get(op.attrs.get("callee"), 1))
+
+            producers = op.predecessors()
+            # State in which the last producer's result becomes available.
+            start = max(
+                (sched.op_end[p.uid] for p in producers), default=0
+            )
+
+            if latency == 0:
+                # Combinational op: chain inside `start` if the accumulated
+                # delay fits the state budget, else register and take the
+                # next state.
+                worst_in = 0.0
+                for producer in producers:
+                    if sched.op_end[producer.uid] == start:
+                        worst_in = max(worst_in, sched.op_arrival_ns[producer.uid])
+                    else:
+                        worst_in = max(worst_in, _CLK_TO_OUT_NS)
+                if producers and worst_in + spec.delay_ns > clock_budget:
+                    start += 1
+                    arrival = _CLK_TO_OUT_NS + spec.delay_ns
+                else:
+                    arrival = worst_in + spec.delay_ns
+            else:
+                arrival = _CLK_TO_OUT_NS
+
+            # Legalize resource contention by pushing the start state.
+            legal = self._legalize(
+                op, start, func, mem_limit, mem_usage, dsp_usage,
+                in_pipeline=op.uid in pipelined_uids,
+            )
+            if legal != start:
+                start = legal
+                if latency == 0:
+                    arrival = _CLK_TO_OUT_NS + spec.delay_ns
+
+            end = start + latency
+            sched.op_start[op.uid] = start
+            sched.op_end[op.uid] = end
+            sched.op_arrival_ns[op.uid] = arrival
+            sched.critical_delay_ns = max(
+                sched.critical_delay_ns,
+                arrival if latency == 0 else spec.delay_ns,
+            )
+
+        sched.n_states = 1 + max(sched.op_end.values(), default=0)
+        sched.latency_cycles = self._roll_up_latency(func, sched)
+        return sched
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pipelined_uids(func: Function) -> set[int]:
+        uids: set[int] = set()
+        for loop in func.loops.values():
+            if loop.pipelined:
+                uids |= loop.op_uids
+        return uids
+
+    def _legalize(self, op, start, func, mem_limit, mem_usage, dsp_usage,
+                  *, in_pipeline: bool) -> int:
+        """Push ``start`` forward until port/DSP budgets are respected."""
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100000:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"legalization did not converge for {op.name}"
+                )
+            if op.opcode in ("load", "store"):
+                array = op.attrs.get("array")
+                limit = mem_limit.get(array)
+                if limit is not None and not in_pipeline:
+                    key = (array, start)
+                    if mem_usage.get(key, 0) >= limit:
+                        start += 1
+                        continue
+                    mem_usage[key] = mem_usage.get(key, 0) + 1
+                break
+            spec = self.library.spec_for(op)
+            if spec.dsp > 0 and self.dsp_limit is not None and not in_pipeline:
+                if dsp_usage.get(start, 0) + spec.dsp > self.dsp_limit:
+                    start += 1
+                    continue
+                dsp_usage[start] = dsp_usage.get(start, 0) + spec.dsp
+            break
+        return start
+
+    # ------------------------------------------------------------------
+    def _roll_up_latency(self, func: Function, sched: FunctionSchedule) -> int:
+        """Total cycles: straight-line span plus iterated loop bodies.
+
+        Each loop contributes ``trips * body`` (or ``body + II*(trips-1)``
+        when pipelined) in place of its raw single-iteration span; the
+        adjustment composes bottom-up through the loop nest.
+        """
+        raw_span: dict[str, int] = {}
+        for name, loop in func.loops.items():
+            lo, hi = sched.span(loop.op_uids)
+            raw_span[name] = (hi - lo + 1) if loop.op_uids else 1
+
+        children: dict[str, list[str]] = {name: [] for name in func.loops}
+        roots: list[str] = []
+        for name, loop in func.loops.items():
+            if loop.parent and loop.parent in func.loops:
+                children[loop.parent].append(name)
+            else:
+                roots.append(name)
+
+        memo: dict[str, int] = {}
+
+        def effective(name: str) -> int:
+            if name in memo:
+                return memo[name]
+            loop = func.loops[name]
+            body = raw_span[name]
+            for child in children[name]:
+                body += effective(child) - raw_span[child]
+            body = max(1, body)
+            if loop.pipelined:
+                total = body + loop.initiation_interval * (loop.trip_count - 1)
+            else:
+                total = body * loop.trip_count
+            memo[name] = max(1, total)
+            return memo[name]
+
+        latency = sched.n_states
+        for root in roots:
+            latency += effective(root) - raw_span[root]
+        return max(1, latency)

@@ -1,0 +1,287 @@
+"""Simulated-annealing placement.
+
+Places every cluster on a device site of its kind, minimizing wire-length
+weighted by net width (wires), which is exactly the demand the router
+turns into congestion.  The initial placement fills CLB sites from the die
+center outward in elaboration order — related logic starts clustered, and
+the congestion "hot middle / cool margin" distribution of the paper's
+Fig. 5 emerges from center-packed placements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.fpga.device import Device
+from repro.impl.packing import Packing
+from repro.rtl.netlist import Netlist
+from repro.util.rng import ensure_rng
+
+#: Nets with more pins than this are sampled down for cost evaluation.
+_MAX_COST_PINS = 48
+
+
+@dataclass
+class PlacementOptions:
+    """Effort/seed knobs for the annealer."""
+
+    effort: str = "normal"            # "fast" | "normal" | "high"
+    seed: int = 0
+    #: moves per cluster per temperature step
+    moves_per_cluster: float = 1.0
+    initial_accept_prob: float = 0.8
+    cooling: float = 0.92
+
+    @property
+    def n_sweeps(self) -> int:
+        return {"fast": 18, "normal": 36, "high": 72}.get(self.effort, 36)
+
+
+@dataclass
+class Placement:
+    """Cluster positions plus lookup helpers."""
+
+    device: Device
+    #: cluster id -> (x, y)
+    positions: dict[int, tuple[int, int]] = field(default_factory=dict)
+    cost: float = 0.0
+    initial_cost: float = 0.0
+    n_moves: int = 0
+    n_accepted: int = 0
+
+    def position_of(self, cluster_id: int) -> tuple[int, int]:
+        return self.positions[cluster_id]
+
+    def tiles_of_cell(self, packing: Packing, cell_id: int) -> list[tuple[int, int]]:
+        """Every tile holding a piece of ``cell_id``."""
+        return [
+            self.positions[cid]
+            for cid in packing.clusters_of_cell.get(cell_id, [])
+        ]
+
+
+class Annealer:
+    """Swap/relocate simulated annealing over tile sites."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        packing: Packing,
+        device: Device,
+        options: PlacementOptions | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.packing = packing
+        self.device = device
+        self.options = options or PlacementOptions()
+        self.rng = ensure_rng(self.options.seed)
+
+        # Net pins in cluster space (deduplicated, possibly sampled).
+        self._net_pins: list[list[int]] = []
+        self._net_width: list[int] = []
+        for net in netlist.nets:
+            pins = []
+            seen = set()
+            for cell_id in net.endpoints():
+                cid = packing.primary_cluster.get(cell_id)
+                if cid is not None and cid not in seen:
+                    seen.add(cid)
+                    pins.append(cid)
+            if len(pins) > _MAX_COST_PINS:
+                step = len(pins) / _MAX_COST_PINS
+                pins = [pins[int(i * step)] for i in range(_MAX_COST_PINS)]
+            if len(pins) >= 2:
+                self._net_pins.append(pins)
+                self._net_width.append(net.width)
+
+        # Chain nets keep multi-cluster cells together.
+        for cell_id, cids in packing.clusters_of_cell.items():
+            if len(cids) > 1:
+                for a, b in zip(cids, cids[1:]):
+                    self._net_pins.append([a, b])
+                    self._net_width.append(4)
+
+        self._nets_of_cluster: dict[int, list[int]] = {}
+        for net_id, pins in enumerate(self._net_pins):
+            for cid in pins:
+                self._nets_of_cluster.setdefault(cid, []).append(net_id)
+
+        self._fixed: set[int] = set(packing.port_cluster.values())
+
+    # ------------------------------------------------------------------
+    def place(self) -> Placement:
+        """Initial placement plus annealing refinement."""
+        placement = self._initial_placement()
+        self._anneal(placement)
+        return placement
+
+    # ------------------------------------------------------------------
+    def _initial_placement(self) -> Placement:
+        device = self.device
+        placement = Placement(device=device)
+
+        center = (device.n_cols / 2.0, device.n_rows / 2.0)
+
+        def center_order(sites):
+            return sorted(
+                sites,
+                key=lambda s: (s[0] - center[0]) ** 2 + (s[1] - center[1]) ** 2,
+            )
+
+        site_pools = {
+            "clb": center_order(device.clb_sites()),
+            "dsp": center_order(device.dsp_sites()),
+            "bram": center_order(device.bram_sites()),
+        }
+        cursors = {kind: 0 for kind in site_pools}
+        # BRAM tiles host two RAMB18 each.
+        bram_slots: dict[tuple[int, int], int] = {}
+
+        # Fixed I/O ports along the left edge, spread vertically.
+        port_clusters = sorted(self._fixed)
+        for i, cid in enumerate(port_clusters):
+            y = int((i + 1) * device.n_rows / (len(port_clusters) + 1))
+            placement.positions[cid] = (0, min(device.n_rows - 1, y))
+
+        for cluster in self.packing.clusters:
+            if cluster.cluster_id in self._fixed:
+                continue
+            pool = site_pools[cluster.kind]
+            cursor = cursors[cluster.kind]
+            if cluster.kind == "bram":
+                placed = False
+                while cursor < len(pool):
+                    site = pool[cursor]
+                    used = bram_slots.get(site, 0)
+                    if used < 2:
+                        bram_slots[site] = used + 1
+                        placement.positions[cluster.cluster_id] = site
+                        placed = True
+                        break
+                    cursor += 1
+                cursors[cluster.kind] = cursor
+                if not placed:
+                    raise PlacementError("out of BRAM sites during placement")
+                continue
+            if cursor >= len(pool):
+                raise PlacementError(
+                    f"out of {cluster.kind} sites during placement"
+                )
+            placement.positions[cluster.cluster_id] = pool[cursor]
+            cursors[cluster.kind] = cursor + 1
+
+        placement.cost = self._total_cost(placement)
+        placement.initial_cost = placement.cost
+        return placement
+
+    # ------------------------------------------------------------------
+    def _net_cost(self, placement: Placement, net_id: int) -> float:
+        pins = self._net_pins[net_id]
+        pos = placement.positions
+        xs_min = ys_min = 10 ** 9
+        xs_max = ys_max = -(10 ** 9)
+        for cid in pins:
+            x, y = pos[cid]
+            if x < xs_min:
+                xs_min = x
+            if x > xs_max:
+                xs_max = x
+            if y < ys_min:
+                ys_min = y
+            if y > ys_max:
+                ys_max = y
+        return self._net_width[net_id] * (
+            (xs_max - xs_min) + (ys_max - ys_min)
+        )
+
+    def _total_cost(self, placement: Placement) -> float:
+        return float(
+            sum(self._net_cost(placement, i) for i in range(len(self._net_pins)))
+        )
+
+    # ------------------------------------------------------------------
+    def _anneal(self, placement: Placement) -> None:
+        options = self.options
+        movable = [
+            c.cluster_id for c in self.packing.clusters
+            if c.cluster_id not in self._fixed
+        ]
+        if len(movable) < 2:
+            return
+        by_kind: dict[str, list[int]] = {}
+        for cid in movable:
+            by_kind.setdefault(self.packing.clusters[cid].kind, []).append(cid)
+
+        rng = self.rng
+        # Estimate the initial temperature from random move deltas.
+        deltas = []
+        for _ in range(min(100, len(movable))):
+            a, b = self._pick_pair(by_kind, rng)
+            if a is None:
+                continue
+            deltas.append(abs(self._swap_delta(placement, a, b)))
+        mean_delta = (sum(deltas) / len(deltas)) if deltas else 1.0
+        temp = max(
+            1e-6,
+            -mean_delta / math.log(max(1e-9, options.initial_accept_prob)),
+        )
+
+        n_moves = max(1, int(options.moves_per_cluster * len(movable)))
+        for _ in range(options.n_sweeps):
+            accepted = 0
+            for _ in range(n_moves):
+                a, b = self._pick_pair(by_kind, rng)
+                if a is None:
+                    continue
+                delta = self._swap_delta(placement, a, b)
+                placement.n_moves += 1
+                if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                    self._apply_swap(placement, a, b)
+                    placement.cost += delta
+                    placement.n_accepted += 1
+                    accepted += 1
+            temp *= options.cooling
+            if accepted == 0 and temp < 1e-3:
+                break
+        # Re-sync accumulated float error.
+        placement.cost = self._total_cost(placement)
+
+    def _pick_pair(self, by_kind, rng):
+        kinds = [k for k, v in by_kind.items() if len(v) >= 2]
+        if not kinds:
+            return None, None
+        kind = kinds[int(rng.integers(len(kinds)))]
+        pool = by_kind[kind]
+        a = pool[int(rng.integers(len(pool)))]
+        b = pool[int(rng.integers(len(pool)))]
+        if a == b:
+            return None, None
+        return a, b
+
+    def _swap_delta(self, placement: Placement, a: int, b: int) -> float:
+        nets = set(self._nets_of_cluster.get(a, ()))
+        nets.update(self._nets_of_cluster.get(b, ()))
+        before = sum(self._net_cost(placement, n) for n in nets)
+        self._apply_swap(placement, a, b)
+        after = sum(self._net_cost(placement, n) for n in nets)
+        self._apply_swap(placement, a, b)
+        return after - before
+
+    @staticmethod
+    def _apply_swap(placement: Placement, a: int, b: int) -> None:
+        pos = placement.positions
+        pos[a], pos[b] = pos[b], pos[a]
+
+
+def place_netlist(
+    netlist: Netlist,
+    packing: Packing,
+    device: Device,
+    options: PlacementOptions | None = None,
+) -> Placement:
+    """Pack-aware SA placement of ``netlist`` on ``device``."""
+    return Annealer(netlist, packing, device, options).place()

@@ -1,0 +1,134 @@
+"""Congestion-aware static timing analysis.
+
+Produces the WNS / max-frequency numbers of Tables I, III and VI.  The
+model: the achieved clock period is the HLS critical chained delay plus
+the worst congestion-inflated wire delay among nets plus uncertainty.
+Congestion hurts superlinearly once utilization approaches 100% — "wires
+have to be detoured for connections, generating longer delays" (paper
+Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.device import Device
+from repro.impl.packing import Packing
+from repro.impl.placement import Placement
+from repro.impl.routing import CongestionMap
+from repro.rtl.netlist import Netlist
+
+
+@dataclass
+class TimingParams:
+    """Calibrated constants of the wire-delay model."""
+
+    #: ns per tile of Manhattan distance on an uncongested route
+    ns_per_tile: float = 0.042
+    #: congestion level (%) where detour penalties start
+    penalty_onset: float = 70.0
+    #: linear penalty slope per 100% utilization above onset
+    penalty_linear: float = 1.1
+    #: superlinear penalty once utilization exceeds 100%
+    penalty_super: float = 3.0
+    super_exponent: float = 1.6
+
+
+@dataclass
+class TimingReport:
+    """STA summary for one implementation."""
+
+    target_period_ns: float
+    achieved_period_ns: float
+    logic_delay_ns: float
+    worst_wire_delay_ns: float
+    uncertainty_ns: float
+
+    @property
+    def wns_ns(self) -> float:
+        """Worst negative slack (negative when timing is missed)."""
+        return self.target_period_ns - self.achieved_period_ns
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        return 1000.0 / self.achieved_period_ns
+
+    @property
+    def meets_timing(self) -> bool:
+        return self.wns_ns >= 0.0
+
+
+class TimingAnalyzer:
+    """Computes achieved period from placement + congestion."""
+
+    def __init__(self, device: Device, params: TimingParams | None = None) -> None:
+        self.device = device
+        self.params = params or TimingParams()
+
+    # ------------------------------------------------------------------
+    def wire_delay(self, dist: float, congestion: float) -> float:
+        """Delay (ns) of a route of ``dist`` tiles under ``congestion`` %."""
+        p = self.params
+        factor = 1.0
+        if congestion > p.penalty_onset:
+            factor += p.penalty_linear * (congestion - p.penalty_onset) / 100.0
+        if congestion > 100.0:
+            factor += p.penalty_super * (
+                (congestion - 100.0) / 100.0
+            ) ** p.super_exponent
+        return dist * p.ns_per_tile * factor
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        netlist: Netlist,
+        packing: Packing,
+        placement: Placement,
+        congestion: CongestionMap,
+        *,
+        logic_delay_ns: float,
+        target_period_ns: float,
+        uncertainty_ns: float,
+    ) -> TimingReport:
+        """Full-design STA."""
+        worst_wire = 0.0
+        avg_cong = 0.5 * (congestion.vertical + congestion.horizontal)
+        for net in netlist.nets:
+            pins = []
+            seen = set()
+            for cell_id in net.endpoints():
+                cid = packing.primary_cluster.get(cell_id)
+                if cid is None:
+                    continue
+                pos = placement.positions.get(cid)
+                if pos is not None and pos not in seen:
+                    seen.add(pos)
+                    pins.append(pos)
+            if len(pins) < 2:
+                continue
+            xs = [p[0] for p in pins]
+            ys = [p[1] for p in pins]
+            x1, x2 = min(xs), max(xs)
+            y1, y2 = min(ys), max(ys)
+            dist = (x2 - x1) + (y2 - y1)
+            if dist == 0:
+                continue
+            region = avg_cong[y1:y2 + 1, x1:x2 + 1]
+            # Detours are forced by the *worst* region the route crosses;
+            # temper the max with the mean to avoid single-tile spikes.
+            cong = 0.6 * float(region.max()) + 0.4 * float(region.mean())
+            delay = self.wire_delay(dist, cong)
+            if delay > worst_wire:
+                worst_wire = delay
+
+        achieved = logic_delay_ns + worst_wire + uncertainty_ns
+        achieved = max(achieved, 1e-3)
+        return TimingReport(
+            target_period_ns=target_period_ns,
+            achieved_period_ns=achieved,
+            logic_delay_ns=logic_delay_ns,
+            worst_wire_delay_ns=worst_wire,
+            uncertainty_ns=uncertainty_ns,
+        )

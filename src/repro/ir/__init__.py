@@ -1,0 +1,59 @@
+"""HLS intermediate representation: types, operations, functions, passes."""
+
+from repro.ir.types import (
+    Type,
+    VoidType,
+    IntType,
+    FloatType,
+    ArrayType,
+    VOID,
+    BOOL,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    F32,
+    F64,
+    int_type,
+    common_width,
+)
+from repro.ir.opcodes import (
+    OpClass,
+    OpcodeInfo,
+    OPCODES,
+    VOCABULARY_SIZE,
+    opcode_info,
+    opcode_index,
+    opcode_names,
+    is_opcode,
+)
+from repro.ir.value import Value, Constant
+from repro.ir.operation import Operation, SourceLocation, UNKNOWN_LOCATION
+from repro.ir.function import ArrayDecl, Loop, Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verify import verify_function, verify_module
+from repro.ir.passes import (
+    PassStats,
+    constant_fold,
+    dead_code_elimination,
+    bitwidth_reduction,
+    run_default_pipeline,
+)
+
+__all__ = [
+    "Type", "VoidType", "IntType", "FloatType", "ArrayType",
+    "VOID", "BOOL", "I8", "I16", "I32", "I64", "U8", "U16", "U32",
+    "F32", "F64", "int_type", "common_width",
+    "OpClass", "OpcodeInfo", "OPCODES", "VOCABULARY_SIZE",
+    "opcode_info", "opcode_index", "opcode_names", "is_opcode",
+    "Value", "Constant",
+    "Operation", "SourceLocation", "UNKNOWN_LOCATION",
+    "ArrayDecl", "Loop", "Function", "Module", "IRBuilder",
+    "verify_function", "verify_module",
+    "PassStats", "constant_fold", "dead_code_elimination",
+    "bitwidth_reduction", "run_default_pipeline",
+]

@@ -1,0 +1,294 @@
+"""Ergonomic construction API for IR functions.
+
+The six Rosetta-like kernel generators (:mod:`repro.kernels`) build their
+dataflow graphs through this builder.  It tracks:
+
+* the current source location, so every operation maps back to a pseudo
+  source line (the paper reports congested *source regions*);
+* the active loop nest, so unrolling and replica filtering know loop
+  membership without a separate analysis.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Sequence
+
+from repro.errors import IRError
+from repro.ir.function import ArrayDecl, Function, Loop
+from repro.ir.operation import Operation, SourceLocation
+from repro.ir.types import (
+    ArrayType,
+    BOOL,
+    FloatType,
+    IntType,
+    Type,
+    VOID,
+    common_width,
+    int_type,
+)
+from repro.ir.value import Constant, Value
+
+_BINARY_INT_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "shl", "lshr", "ashr", "and", "or", "xor",
+)
+_BINARY_FLOAT_OPS = ("fadd", "fsub", "fmul", "fdiv")
+_CMP_OPS = (
+    "icmp_eq", "icmp_ne", "icmp_slt", "icmp_sle", "icmp_sgt", "icmp_sge",
+    "icmp_ult", "icmp_ule", "icmp_ugt", "icmp_uge", "fcmp",
+)
+
+
+class IRBuilder:
+    """Builds operations into a :class:`Function` with location tracking."""
+
+    def __init__(self, func: Function, source_file: str = "<source>") -> None:
+        self.func = func
+        self.source_file = source_file
+        self._line = 1
+        self._loop_stack: list[Loop] = []
+        self._name_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # source location management
+    # ------------------------------------------------------------------
+    def at(self, line: int) -> "IRBuilder":
+        """Set the current source line for subsequent operations."""
+        if line < 0:
+            raise IRError(f"source line must be non-negative, got {line}")
+        self._line = line
+        return self
+
+    def next_line(self, count: int = 1) -> "IRBuilder":
+        """Advance the current source line by ``count``."""
+        self._line += count
+        return self
+
+    @property
+    def line(self) -> int:
+        return self._line
+
+    def _loc(self, line: int | None) -> SourceLocation:
+        return SourceLocation(self.source_file, self._line if line is None else line)
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def arg(self, name: str, type: Type) -> Value:
+        """Declare and return a function argument (an I/O port)."""
+        value = Value(type, name=name)
+        return self.func.add_argument(value)
+
+    def array(
+        self,
+        name: str,
+        element: Type,
+        dims: Sequence[int],
+        *,
+        partition: int = 1,
+    ) -> ArrayDecl:
+        """Declare an on-chip array (memory)."""
+        decl = ArrayDecl(name, ArrayType(element, tuple(dims)), partition=partition)
+        return self.func.declare_array(decl)
+
+    @contextmanager
+    def loop(self, name: str, trip_count: int, *, line: int | None = None):
+        """Context manager entering a loop body.
+
+        Every operation emitted inside the ``with`` block is recorded as a
+        member of this loop (and of all enclosing loops).
+        """
+        loop = Loop(
+            name=name,
+            trip_count=trip_count,
+            depth=len(self._loop_stack),
+            parent=self._loop_stack[-1].name if self._loop_stack else None,
+        )
+        self.func.declare_loop(loop)
+        if line is not None:
+            self.at(line)
+        self._loop_stack.append(loop)
+        try:
+            yield loop
+        finally:
+            self._loop_stack.pop()
+
+    # ------------------------------------------------------------------
+    # emission primitives
+    # ------------------------------------------------------------------
+    def _unique(self, stem: str) -> str:
+        count = self._name_counts.get(stem, 0)
+        self._name_counts[stem] = count + 1
+        return f"{stem}{count}" if count else stem
+
+    def emit(
+        self,
+        opcode: str,
+        operands: Sequence[Value],
+        result_type: Type = VOID,
+        *,
+        name: str = "",
+        line: int | None = None,
+        attrs: dict | None = None,
+    ) -> Operation:
+        """Emit one operation and append it to the function."""
+        op = Operation(
+            opcode,
+            list(operands),
+            result_type,
+            name=self._unique(name or opcode),
+            loc=self._loc(line),
+            attrs=attrs,
+        )
+        for loop in self._loop_stack:
+            loop.op_uids.add(op.uid)
+        return self.func.append(op)
+
+    def const(self, value, type: Type | None = None) -> Constant:
+        """Create a constant value (defaults to i32 / f32 by Python type)."""
+        if type is None:
+            type = FloatType(32) if isinstance(value, float) else int_type(32)
+        return Constant(type, value)
+
+    # ------------------------------------------------------------------
+    # arithmetic / logic sugar (one helper per common opcode)
+    # ------------------------------------------------------------------
+    def _binary(self, opcode: str, a: Value, b: Value, width: int | None,
+                line: int | None) -> Value:
+        if width is None:
+            width = common_width(a.type, b.type)
+        result_type: Type
+        if opcode in _BINARY_FLOAT_OPS:
+            result_type = FloatType(32 if width <= 32 else 64)
+        else:
+            result_type = int_type(width)
+        op = self.emit(opcode, [a, b], result_type, line=line)
+        return op.result
+
+    def __getattr__(self, name: str):
+        # Dynamic sugar: b.add(x, y), b.fmul(u, v), b.icmp_slt(a, b)...
+        if name in _BINARY_INT_OPS or name in _BINARY_FLOAT_OPS:
+            def binary(a, b, width=None, line=None, _op=name):
+                return self._binary(_op, a, b, width, line)
+            return binary
+        if name in _CMP_OPS:
+            def compare(a, b, line=None, _op=name):
+                return self.emit(_op, [a, b], BOOL, line=line).result
+            return compare
+        raise AttributeError(name)
+
+    def and_(self, a: Value, b: Value, *, width: int | None = None,
+             line: int | None = None) -> Value:
+        """Bitwise and (named with a trailing underscore: keyword clash)."""
+        return self._binary("and", a, b, width, line)
+
+    def or_(self, a: Value, b: Value, *, width: int | None = None,
+            line: int | None = None) -> Value:
+        """Bitwise or (named with a trailing underscore: keyword clash)."""
+        return self._binary("or", a, b, width, line)
+
+    def mac(self, a: Value, b: Value, acc: Value, *, width: int | None = None,
+            line: int | None = None) -> Value:
+        """Multiply-accumulate: a * b + acc."""
+        if width is None:
+            width = common_width(a.type, b.type, acc.type)
+        return self.emit("mac", [a, b, acc], int_type(width), line=line).result
+
+    def neg(self, a: Value, *, line: int | None = None) -> Value:
+        zero = self.const(0, a.type if isinstance(a.type, IntType) else None)
+        return self._binary("sub", zero, a, a.bitwidth(), line)
+
+    def not_(self, a: Value, *, line: int | None = None) -> Value:
+        return self.emit("not", [a], int_type(a.bitwidth()), line=line).result
+
+    def select(self, cond: Value, t: Value, f: Value, *,
+               line: int | None = None) -> Value:
+        width = common_width(t.type, f.type)
+        return self.emit(
+            "select", [cond, t, f], int_type(width), line=line
+        ).result
+
+    def zext(self, a: Value, width: int, *, line: int | None = None) -> Value:
+        return self.emit("zext", [a], int_type(width, signed=False), line=line).result
+
+    def sext(self, a: Value, width: int, *, line: int | None = None) -> Value:
+        return self.emit("sext", [a], int_type(width), line=line).result
+
+    def trunc(self, a: Value, width: int, *, line: int | None = None) -> Value:
+        if width > a.bitwidth():
+            raise IRError(
+                f"trunc to {width} bits from narrower {a.bitwidth()}-bit value"
+            )
+        return self.emit("trunc", [a], int_type(width), line=line).result
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def _array_decl(self, array: str | ArrayDecl) -> ArrayDecl:
+        if isinstance(array, ArrayDecl):
+            return array
+        if array not in self.func.arrays:
+            raise IRError(f"no array {array!r} in function {self.func.name}")
+        return self.func.arrays[array]
+
+    def load(self, array: str | ArrayDecl, indices: Sequence[Value] = (),
+             *, line: int | None = None) -> Value:
+        decl = self._array_decl(array)
+        op = self.emit(
+            "load",
+            list(indices),
+            IntType(decl.bits) if not decl.type.element.is_float
+            else decl.type.element,
+            name=f"{decl.name}_ld",
+            line=line,
+            attrs={"array": decl.name},
+        )
+        return op.result
+
+    def store(self, array: str | ArrayDecl, value: Value,
+              indices: Sequence[Value] = (), *, line: int | None = None) -> Operation:
+        decl = self._array_decl(array)
+        return self.emit(
+            "store",
+            [value, *indices],
+            VOID,
+            name=f"{decl.name}_st",
+            line=line,
+            attrs={"array": decl.name},
+        )
+
+    # ------------------------------------------------------------------
+    # I/O ports and calls
+    # ------------------------------------------------------------------
+    def read_port(self, port: Value, *, line: int | None = None) -> Value:
+        if port not in self.func.arguments:
+            raise IRError(f"{port.name!r} is not an argument of {self.func.name}")
+        element = port.type.element if port.type.is_array else port.type
+        op = self.emit(
+            "read_port", [], element, name=f"rd_{port.name}", line=line,
+            attrs={"port": port.name},
+        )
+        return op.result
+
+    def write_port(self, port: Value, value: Value, *,
+                   line: int | None = None) -> Operation:
+        if port not in self.func.arguments:
+            raise IRError(f"{port.name!r} is not an argument of {self.func.name}")
+        return self.emit(
+            "write_port", [value], VOID, name=f"wr_{port.name}", line=line,
+            attrs={"port": port.name},
+        )
+
+    def call(self, callee: str, args: Sequence[Value], result_type: Type = VOID,
+             *, line: int | None = None) -> Operation:
+        if callee not in self.func.callees:
+            self.func.callees.append(callee)
+        return self.emit(
+            "call", list(args), result_type, name=f"call_{callee}", line=line,
+            attrs={"callee": callee},
+        )
+
+    def ret(self, value: Value | None = None, *, line: int | None = None) -> Operation:
+        operands = [value] if value is not None else []
+        return self.emit("ret", operands, VOID, line=line)

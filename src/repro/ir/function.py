@@ -1,0 +1,181 @@
+"""Functions, loops and array declarations.
+
+A function holds an ordered list of operations (already in dataflow order:
+producers precede consumers), the arrays it declares (HLS memories) and
+loop metadata.  Loops are what the unroll directive and the paper's
+marginal-sample filtering (replica groups) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import IRError
+from repro.ir.operation import Operation
+from repro.ir.types import ArrayType, Type
+from repro.ir.value import Value
+
+
+@dataclass
+class ArrayDecl:
+    """An on-chip array (memory) declared by a function.
+
+    ``partition`` records the array-partition directive state: the number
+    of banks the array has been split into (1 = unpartitioned, ``length``
+    = complete partitioning into registers).
+    """
+
+    name: str
+    type: ArrayType
+    partition: int = 1
+
+    def __post_init__(self) -> None:
+        if self.partition < 1:
+            raise IRError(f"array partition factor must be >= 1, got {self.partition}")
+
+    @property
+    def words(self) -> int:
+        """Words per bank after partitioning."""
+        return max(1, -(-self.type.length // self.partition))
+
+    @property
+    def banks(self) -> int:
+        return min(self.partition, self.type.length)
+
+    @property
+    def bits(self) -> int:
+        return self.type.bitwidth()
+
+    @property
+    def primitives(self) -> int:
+        """words * bits * banks, the paper's memory primitive count."""
+        return self.words * self.bits * self.banks
+
+    @property
+    def is_registers(self) -> bool:
+        """True when completely partitioned (implemented as FFs, not BRAM)."""
+        return self.partition >= self.type.length
+
+
+@dataclass
+class Loop:
+    """Loop metadata: membership of its body plus directive state."""
+
+    name: str
+    trip_count: int
+    depth: int = 0
+    op_uids: set[int] = field(default_factory=set)
+    unroll_factor: int = 1
+    pipelined: bool = False
+    initiation_interval: int = 1
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise IRError(f"loop trip count must be >= 1, got {self.trip_count}")
+
+
+class Function:
+    """One IR function: arguments, arrays, loops and an operation list."""
+
+    def __init__(self, name: str, *, is_top: bool = False) -> None:
+        self.name = name
+        self.is_top = is_top
+        self.arguments: list[Value] = []
+        self.arrays: dict[str, ArrayDecl] = {}
+        self.loops: dict[str, Loop] = {}
+        self.operations: list[Operation] = []
+        #: names of functions this one calls (before inlining)
+        self.callees: list[str] = []
+        #: directive flags set by the HLS layer
+        self.inline: bool = False
+        self._ops_by_uid: dict[int, Operation] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_argument(self, value: Value) -> Value:
+        if value.producer is not None:
+            raise IRError("function arguments cannot have a producer")
+        self.arguments.append(value)
+        return value
+
+    def declare_array(self, decl: ArrayDecl) -> ArrayDecl:
+        if decl.name in self.arrays:
+            raise IRError(f"array {decl.name!r} already declared in {self.name}")
+        self.arrays[decl.name] = decl
+        return decl
+
+    def declare_loop(self, loop: Loop) -> Loop:
+        if loop.name in self.loops:
+            raise IRError(f"loop {loop.name!r} already declared in {self.name}")
+        self.loops[loop.name] = loop
+        return loop
+
+    def append(self, op: Operation) -> Operation:
+        if op.parent is not None and op.parent is not self:
+            raise IRError(f"operation {op.name} already belongs to {op.parent.name}")
+        op.parent = self
+        self.operations.append(op)
+        self._ops_by_uid[op.uid] = op
+        return op
+
+    def insert_at(self, position: int, op: Operation) -> Operation:
+        """Insert ``op`` at ``position`` in the operation list."""
+        if op.parent is not None and op.parent is not self:
+            raise IRError(f"operation {op.name} already belongs to {op.parent.name}")
+        op.parent = self
+        self.operations.insert(position, op)
+        self._ops_by_uid[op.uid] = op
+        return op
+
+    def index_of(self, op: Operation) -> int:
+        """Position of ``op`` in the operation list."""
+        return self.operations.index(op)
+
+    def remove(self, op: Operation) -> None:
+        """Remove ``op`` from the function and the def-use web."""
+        if op.uid not in self._ops_by_uid:
+            raise IRError(f"operation {op.name} not in function {self.name}")
+        op.detach()
+        del self._ops_by_uid[op.uid]
+        self.operations.remove(op)
+        for loop in self.loops.values():
+            loop.op_uids.discard(op.uid)
+        op.parent = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def op(self, uid: int) -> Operation:
+        return self._ops_by_uid[uid]
+
+    def has_op(self, uid: int) -> bool:
+        return uid in self._ops_by_uid
+
+    def ops_of(self, opcode: str) -> list[Operation]:
+        return [op for op in self.operations if op.opcode == opcode]
+
+    def loops_of(self, op: Operation) -> list[Loop]:
+        """Innermost-last list of loops whose body contains ``op``."""
+        containing = [lp for lp in self.loops.values() if op.uid in lp.op_uids]
+        containing.sort(key=lambda lp: lp.depth)
+        return containing
+
+    def loop_ops(self, loop_name: str) -> list[Operation]:
+        loop = self.loops[loop_name]
+        return [op for op in self.operations if op.uid in loop.op_uids]
+
+    def n_ops(self) -> int:
+        return len(self.operations)
+
+    def iter_ops(self) -> Iterable[Operation]:
+        return iter(self.operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " (top)" if self.is_top else ""
+        return (
+            f"Function({self.name}{flag}: {len(self.operations)} ops, "
+            f"{len(self.arrays)} arrays, {len(self.loops)} loops)"
+        )

@@ -1,0 +1,75 @@
+"""Module: a whole design (a set of functions with one top)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.operation import Operation
+
+
+class Module:
+    """A complete design: functions plus the designated top function.
+
+    The paper combines several Rosetta applications under a single top
+    function to fill the device; a module models exactly that unit — the
+    thing one C-to-FPGA flow run consumes.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self._top: str | None = None
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise IRError(f"function {func.name!r} already in module {self.name}")
+        self.functions[func.name] = func
+        if func.is_top:
+            if self._top is not None and self._top != func.name:
+                raise IRError(
+                    f"module {self.name} already has top {self._top!r}; "
+                    f"cannot add second top {func.name!r}"
+                )
+            self._top = func.name
+        return func
+
+    @property
+    def top(self) -> Function:
+        if self._top is None:
+            raise IRError(f"module {self.name} has no top function")
+        return self.functions[self._top]
+
+    def set_top(self, name: str) -> None:
+        if name not in self.functions:
+            raise IRError(f"cannot set top: no function {name!r} in {self.name}")
+        if self._top is not None:
+            self.functions[self._top].is_top = False
+        self._top = name
+        self.functions[name].is_top = True
+
+    def function(self, name: str) -> Function:
+        if name not in self.functions:
+            raise IRError(f"no function {name!r} in module {self.name}")
+        return self.functions[name]
+
+    def iter_all_ops(self) -> Iterable[Operation]:
+        """Iterate over every operation in every function."""
+        for func in self.functions.values():
+            yield from func.operations
+
+    def n_ops(self) -> int:
+        return sum(f.n_ops() for f in self.functions.values())
+
+    def find_op(self, uid: int) -> Operation:
+        for func in self.functions.values():
+            if func.has_op(uid):
+                return func.op(uid)
+        raise IRError(f"no operation with uid {uid} in module {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Module({self.name}: {len(self.functions)} functions, "
+            f"{self.n_ops()} ops)"
+        )

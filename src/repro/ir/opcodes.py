@@ -1,0 +1,142 @@
+"""Opcode vocabulary of the intermediate representation.
+
+The paper extracts an *operator type* feature category: a one-hot encoding
+of each operation's opcode plus, for every opcode, the count of that opcode
+among the operation's one-hop neighbours (Table II).  The vocabulary is
+therefore part of the 302-feature contract: it holds exactly
+:data:`VOCABULARY_SIZE` opcodes, mirroring the LLVM-derived instruction set
+Vivado HLS exposes at the IR level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpClass(Enum):
+    """Coarse functional class used by the operator characterization library."""
+
+    ARITH = "arith"          # integer add/sub and friends
+    MULDIV = "muldiv"        # multiply / divide / mac (DSP candidates)
+    LOGIC = "logic"          # bitwise ops, shifts
+    COMPARE = "compare"      # integer / float comparisons
+    FLOAT = "float"          # floating-point arithmetic
+    CONVERT = "convert"      # width / domain conversions
+    SELECT = "select"        # select / phi / mux
+    MEMORY = "memory"        # load / store / address generation
+    CONTROL = "control"      # branches, returns, calls
+    IO = "io"                # top-level port accesses
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    opclass: OpClass
+    n_operands: int          # -1 means variadic
+    has_result: bool
+    commutative: bool = False
+
+
+def _op(name, opclass, n_operands, has_result, commutative=False):
+    return OpcodeInfo(name, opclass, n_operands, has_result, commutative)
+
+
+#: The fixed opcode vocabulary.  Order matters: feature extraction uses the
+#: index of each opcode for its one-hot slot.  len(OPCODES) must stay 56 —
+#: the Table II feature total (302) depends on it; tests lock the contract.
+OPCODES: tuple[OpcodeInfo, ...] = (
+    # integer arithmetic -------------------------------------------------
+    _op("add", OpClass.ARITH, 2, True, commutative=True),
+    _op("sub", OpClass.ARITH, 2, True),
+    _op("mul", OpClass.MULDIV, 2, True, commutative=True),
+    _op("sdiv", OpClass.MULDIV, 2, True),
+    _op("udiv", OpClass.MULDIV, 2, True),
+    _op("srem", OpClass.MULDIV, 2, True),
+    _op("urem", OpClass.MULDIV, 2, True),
+    _op("mac", OpClass.MULDIV, 3, True),
+    # shifts and bitwise logic -------------------------------------------
+    _op("shl", OpClass.LOGIC, 2, True),
+    _op("lshr", OpClass.LOGIC, 2, True),
+    _op("ashr", OpClass.LOGIC, 2, True),
+    _op("and", OpClass.LOGIC, 2, True, commutative=True),
+    _op("or", OpClass.LOGIC, 2, True, commutative=True),
+    _op("xor", OpClass.LOGIC, 2, True, commutative=True),
+    _op("not", OpClass.LOGIC, 1, True),
+    _op("concat", OpClass.LOGIC, -1, True),
+    _op("extract", OpClass.LOGIC, 1, True),
+    _op("reduce_and", OpClass.LOGIC, 1, True),
+    _op("reduce_or", OpClass.LOGIC, 1, True),
+    _op("reduce_xor", OpClass.LOGIC, 1, True),
+    # integer comparison --------------------------------------------------
+    _op("icmp_eq", OpClass.COMPARE, 2, True, commutative=True),
+    _op("icmp_ne", OpClass.COMPARE, 2, True, commutative=True),
+    _op("icmp_slt", OpClass.COMPARE, 2, True),
+    _op("icmp_sle", OpClass.COMPARE, 2, True),
+    _op("icmp_sgt", OpClass.COMPARE, 2, True),
+    _op("icmp_sge", OpClass.COMPARE, 2, True),
+    _op("icmp_ult", OpClass.COMPARE, 2, True),
+    _op("icmp_ule", OpClass.COMPARE, 2, True),
+    _op("icmp_ugt", OpClass.COMPARE, 2, True),
+    _op("icmp_uge", OpClass.COMPARE, 2, True),
+    # floating point -------------------------------------------------------
+    _op("fadd", OpClass.FLOAT, 2, True, commutative=True),
+    _op("fsub", OpClass.FLOAT, 2, True),
+    _op("fmul", OpClass.FLOAT, 2, True, commutative=True),
+    _op("fdiv", OpClass.FLOAT, 2, True),
+    _op("fcmp", OpClass.COMPARE, 2, True),
+    _op("fsqrt", OpClass.FLOAT, 1, True),
+    # conversions ----------------------------------------------------------
+    _op("zext", OpClass.CONVERT, 1, True),
+    _op("sext", OpClass.CONVERT, 1, True),
+    _op("trunc", OpClass.CONVERT, 1, True),
+    _op("sitofp", OpClass.CONVERT, 1, True),
+    _op("fptosi", OpClass.CONVERT, 1, True),
+    _op("fpext", OpClass.CONVERT, 1, True),
+    _op("fptrunc", OpClass.CONVERT, 1, True),
+    _op("bitcast", OpClass.CONVERT, 1, True),
+    # selection ------------------------------------------------------------
+    _op("select", OpClass.SELECT, 3, True),
+    _op("phi", OpClass.SELECT, -1, True),
+    _op("mux", OpClass.SELECT, -1, True),
+    # memory ---------------------------------------------------------------
+    _op("load", OpClass.MEMORY, -1, True),
+    _op("store", OpClass.MEMORY, -1, False),
+    _op("gep", OpClass.MEMORY, -1, True),
+    # control --------------------------------------------------------------
+    _op("br", OpClass.CONTROL, -1, False),
+    _op("ret", OpClass.CONTROL, -1, False),
+    _op("call", OpClass.CONTROL, -1, True),
+    _op("switch", OpClass.CONTROL, -1, False),
+    # top-level I/O --------------------------------------------------------
+    _op("read_port", OpClass.IO, -1, True),
+    _op("write_port", OpClass.IO, -1, False),
+)
+
+#: Number of opcodes in the vocabulary (part of the 302-feature contract).
+VOCABULARY_SIZE = len(OPCODES)
+
+_BY_NAME: dict[str, OpcodeInfo] = {info.name: info for info in OPCODES}
+_INDEX: dict[str, int] = {info.name: i for i, info in enumerate(OPCODES)}
+
+
+def opcode_info(name: str) -> OpcodeInfo:
+    """Return the :class:`OpcodeInfo` for ``name`` (raises ``KeyError``)."""
+    return _BY_NAME[name]
+
+
+def opcode_index(name: str) -> int:
+    """Return the one-hot index of opcode ``name`` in the vocabulary."""
+    return _INDEX[name]
+
+
+def is_opcode(name: str) -> bool:
+    """Return ``True`` if ``name`` is a known opcode."""
+    return name in _BY_NAME
+
+
+def opcode_names() -> tuple[str, ...]:
+    """All opcode names in vocabulary order."""
+    return tuple(info.name for info in OPCODES)

@@ -1,0 +1,154 @@
+"""Front-end optimization passes.
+
+Section III of the paper motivates working at the IR level: "The front-end
+compiler performs code optimization such as bitwidth reduction, which
+directly influences the data flow of generated RTL models."  These passes
+reproduce the relevant front-end behaviour:
+
+* constant folding — collapses compile-time-known arithmetic;
+* dead-code elimination — removes unused pure operations;
+* bitwidth reduction — narrows operation results to the width their
+  operands can actually produce, which changes the wire counts (edge
+  weights) every downstream feature sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.operation import Operation
+from repro.ir.types import IntType
+from repro.ir.value import Constant
+
+_SIDE_EFFECT_OPCODES = {
+    "store", "write_port", "call", "ret", "br", "switch",
+}
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "lshr": lambda a, b: a >> b,
+    "ashr": lambda a, b: a >> b,
+}
+
+
+@dataclass
+class PassStats:
+    """Counts of what each pass changed (for tests and flow reports)."""
+
+    folded: int = 0
+    removed: int = 0
+    narrowed: int = 0
+    details: list[str] = field(default_factory=list)
+
+    def merge(self, other: "PassStats") -> "PassStats":
+        self.folded += other.folded
+        self.removed += other.removed
+        self.narrowed += other.narrowed
+        self.details.extend(other.details)
+        return self
+
+
+def _has_side_effects(op: Operation) -> bool:
+    return op.opcode in _SIDE_EFFECT_OPCODES
+
+
+def dead_code_elimination(func: Function) -> PassStats:
+    """Iteratively remove pure operations whose results are unused."""
+    stats = PassStats()
+    changed = True
+    while changed:
+        changed = False
+        for op in list(func.operations):
+            if _has_side_effects(op):
+                continue
+            if op.result is None or op.result.users:
+                continue
+            func.remove(op)
+            stats.removed += 1
+            changed = True
+    return stats
+
+
+def constant_fold(func: Function) -> PassStats:
+    """Replace operations whose operands are all constants by constants."""
+    stats = PassStats()
+    for op in list(func.operations):
+        fold = _FOLDABLE.get(op.opcode)
+        if fold is None or op.result is None:
+            continue
+        if len(op.operands) != 2:
+            continue
+        a, b = op.operands
+        if not (a.is_constant and b.is_constant):
+            continue
+        try:
+            value = fold(a.constant, b.constant)
+        except (TypeError, ValueError):  # e.g. float constants in int fold
+            continue
+        replacement = Constant(op.result.type, value)
+        for user in list(op.result.users):
+            user.replace_operand(op.result, replacement)
+        func.remove(op)
+        stats.folded += 1
+    return stats
+
+
+def _max_result_bits(op: Operation) -> int | None:
+    """Upper bound on the bits ``op`` can produce, or None if unknown."""
+    widths = [v.bitwidth() for v in op.operands if v.bitwidth() > 0]
+    if not widths:
+        return None
+    if op.opcode in ("add", "sub"):
+        return max(widths) + 1
+    if op.opcode == "mul":
+        return sum(sorted(widths)[-2:]) if len(widths) >= 2 else widths[0]
+    if op.opcode == "mac":
+        hi = sorted(widths)
+        return max(hi[-1] + hi[-2] if len(hi) >= 2 else hi[0], widths[-1]) + 1
+    if op.opcode in ("and", "or", "xor"):
+        return max(widths)
+    if op.opcode in ("sdiv", "udiv", "srem", "urem"):
+        return max(widths)
+    if op.opcode in ("lshr", "ashr"):
+        return widths[0]
+    return None
+
+
+def bitwidth_reduction(func: Function) -> PassStats:
+    """Narrow integer results that are provably wider than needed.
+
+    Only the result *type* is rewritten; the def-use structure is
+    untouched, so the pass is safe to run at any point before scheduling.
+    """
+    stats = PassStats()
+    for op in func.operations:
+        if op.result is None or not isinstance(op.result.type, IntType):
+            continue
+        bound = _max_result_bits(op)
+        if bound is None:
+            continue
+        current = op.result.type.width
+        if bound < current:
+            op.result.type = IntType(bound, op.result.type.signed)
+            stats.narrowed += 1
+            stats.details.append(f"{op.name}: {current} -> {bound} bits")
+    return stats
+
+
+def run_default_pipeline(module: Module) -> PassStats:
+    """Run the standard front-end pipeline over every function."""
+    total = PassStats()
+    for func in module.functions.values():
+        total.merge(constant_fold(func))
+        total.merge(dead_code_elimination(func))
+        total.merge(bitwidth_reduction(func))
+        total.merge(dead_code_elimination(func))
+    return total

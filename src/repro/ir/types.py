@@ -1,0 +1,153 @@
+"""Type system for the HLS intermediate representation.
+
+The paper's flow starts from the IR produced by the Vivado HLS front end
+(LLVM-derived).  Only the properties the congestion model consumes are
+represented here: bit widths (the Bitwidth feature category and wire-count
+edge weights both derive from them), signedness, float-ness and array
+shapes (memory banking features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for IR types."""
+
+    def bitwidth(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_void(self) -> bool:
+        return False
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_array(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """Type of operations that produce no value (store, br, ret)."""
+
+    def bitwidth(self) -> int:
+        return 0
+
+    @property
+    def is_void(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Arbitrary-precision integer type, as in HLS ``ap_int``/``ap_uint``."""
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise IRError(f"integer width must be positive, got {self.width}")
+        if self.width > 4096:
+            raise IRError(f"integer width {self.width} is unreasonably large")
+
+    def bitwidth(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE-754 float type (32- or 64-bit)."""
+
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width not in (16, 32, 64):
+            raise IRError(f"float width must be 16, 32 or 64, got {self.width}")
+
+    def bitwidth(self) -> int:
+        return self.width
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """N-dimensional array of a scalar element type (an HLS memory)."""
+
+    element: Type
+    dims: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.element.is_array or self.element.is_void:
+            raise IRError("array element must be a scalar type")
+        if not self.dims:
+            raise IRError("array must have at least one dimension")
+        for d in self.dims:
+            if d <= 0:
+                raise IRError(f"array dimensions must be positive, got {self.dims}")
+
+    def bitwidth(self) -> int:
+        return self.element.bitwidth()
+
+    @property
+    def is_array(self) -> bool:
+        return True
+
+    @property
+    def length(self) -> int:
+        """Total number of elements across all dimensions."""
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.dims)
+        return f"[{dims} x {self.element}]"
+
+
+VOID = VoidType()
+BOOL = IntType(1, signed=False)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U8 = IntType(8, signed=False)
+U16 = IntType(16, signed=False)
+U32 = IntType(32, signed=False)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def int_type(width: int, signed: bool = True) -> IntType:
+    """Return an :class:`IntType` of ``width`` bits."""
+    return IntType(width, signed)
+
+
+def common_width(*types: Type) -> int:
+    """Return the maximum bitwidth among ``types`` (LLVM-style promotion)."""
+    widths = [t.bitwidth() for t in types if not t.is_void]
+    if not widths:
+        return 0
+    return max(widths)

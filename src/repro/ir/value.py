@@ -1,0 +1,64 @@
+"""SSA values: the data edges of the IR dataflow graph."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import IRError
+from repro.ir.types import Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.operation import Operation
+
+
+class Value:
+    """A typed SSA value.
+
+    A value is produced either by an :class:`~repro.ir.operation.Operation`
+    (``producer`` is set), by a function argument, or by a constant.  The
+    set of consuming operations is tracked so that def-use traversal — the
+    basis of the paper's dependency graph — is O(1).
+    """
+
+    __slots__ = ("type", "name", "producer", "users", "constant")
+
+    def __init__(
+        self,
+        type: Type,
+        name: str = "",
+        producer: Optional["Operation"] = None,
+        constant=None,
+    ) -> None:
+        self.type = type
+        self.name = name
+        self.producer = producer
+        self.users: list["Operation"] = []
+        self.constant = constant
+
+    @property
+    def is_constant(self) -> bool:
+        return self.constant is not None
+
+    @property
+    def is_argument(self) -> bool:
+        return self.producer is None and self.constant is None
+
+    def bitwidth(self) -> int:
+        """Bit width of this value (0 for void)."""
+        return self.type.bitwidth()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "const" if self.is_constant else ("arg" if self.is_argument else "op")
+        return f"Value({self.name or '<anon>'}:{self.type} [{kind}])"
+
+
+class Constant(Value):
+    """A compile-time constant value."""
+
+    def __init__(self, type: Type, value, name: str = "") -> None:
+        if value is None:
+            raise IRError("constant value may not be None")
+        super().__init__(type, name=name or f"c{value}", constant=value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Constant({self.constant}:{self.type})"

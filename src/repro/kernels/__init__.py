@@ -1,0 +1,30 @@
+"""Rosetta-like benchmark kernel generators and paper combinations."""
+
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    adder_tree,
+    popcount_tree,
+    mux_chain_select,
+    scaled,
+)
+from repro.kernels.face_detection import build_face_detection
+from repro.kernels.digit_recognition import build_digit_recognition
+from repro.kernels.spam_filter import build_spam_filter
+from repro.kernels.bnn import build_bnn
+from repro.kernels.rendering_3d import build_rendering_3d
+from repro.kernels.optical_flow import build_optical_flow
+from repro.kernels.combos import (
+    KERNEL_BUILDERS,
+    PAPER_COMBINATIONS,
+    build_kernel,
+    build_combined,
+)
+
+__all__ = [
+    "KernelDesign", "STANDARD_VARIANTS", "adder_tree", "popcount_tree",
+    "mux_chain_select", "scaled",
+    "build_face_detection", "build_digit_recognition", "build_spam_filter",
+    "build_bnn", "build_rendering_3d", "build_optical_flow",
+    "KERNEL_BUILDERS", "PAPER_COMBINATIONS", "build_kernel", "build_combined",
+]

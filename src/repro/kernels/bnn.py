@@ -1,0 +1,139 @@
+"""BNN (binarized neural network inference), Rosetta-style.
+
+XNOR-popcount convolution layers with sign-threshold activations: weights
+and activations are packed into 32-bit words; each output computes
+popcount(xnor(w, a)) across the receptive field.  Directives unroll the
+output-channel loop and partition the weight words.
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I32, IntType, U32
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    adder_tree,
+    check_variant,
+    popcount_tree,
+    scaled,
+)
+
+SOURCE_FILE = "bnn.cpp"
+
+LINE_READ = 9
+LINE_CONV = 18
+LINE_DENSE = 44
+LINE_OUT = 58
+
+
+def _build_xnor_dot(module: Module, layer: int, n_words: int) -> Function:
+    """Binary dot product over one receptive field (n_words words)."""
+    func = Function(f"xnor_dot_l{layer}")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_CONV + 2 * layer)
+    act = b.arg("act_word", U32)
+    base = b.arg("w_base", IntType(12, signed=False))
+
+    wbuf = b.array(f"wwords_l{layer}", U32, (64 * n_words,))
+    counts = []
+    for w in range(n_words):
+        idx = b.add(base, b.const(w), width=12, line=b.line)
+        weight = b.load(wbuf, [idx], line=b.line)
+        xnor = b.not_(b.xor(act, weight, width=32, line=b.line), line=b.line)
+        counts.append(popcount_tree(b, xnor, word_bits=32, line=b.line))
+    total = adder_tree(b, counts, width=32, line=b.line)
+    # sign activation: +1 if more than half the bits matched
+    sign = b.icmp_ugt(total, b.const(16 * n_words), line=b.line)
+    b.ret(b.zext(sign, 8, line=b.line), line=b.line)
+    return func
+
+
+def build_bnn(scale: float = 1.0, variant: str = "baseline") -> KernelDesign:
+    """Build the BNN inference design."""
+    check_variant(variant, STANDARD_VARIANTS)
+    module = Module(f"bnn[{variant}]")
+
+    n_layers = 2
+    n_words = scaled(3, scale, minimum=1)
+    out_channels = scaled(32, scale, minimum=4)
+    fmap_words = scaled(128, scale, minimum=16)
+    unroll_factor = scaled(8, scale, minimum=2)
+
+    dots = [_build_xnor_dot(module, l, n_words) for l in range(n_layers)]
+
+    top = Function("bnn_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    act_in = b.arg("act_in", U32)
+    pred_out = b.arg("pred_out", I32)
+
+    fmap = [
+        b.array(f"fmap{l}", U32, (fmap_words,)) for l in range(n_layers + 1)
+    ]
+
+    # --- stream input activations in -----------------------------------------
+    b.at(LINE_READ)
+    with b.loop("L_READ", trip_count=fmap_words):
+        word = b.read_port(act_in, line=LINE_READ)
+        b.store(fmap[0], word, [b.const(0)], line=LINE_READ + 1)
+
+    # --- binary conv layers ------------------------------------------------------
+    out_bits = []
+    for layer, dot in enumerate(dots):
+        b.at(LINE_CONV + 6 * layer)
+        with b.loop(f"L_OC_{layer}", trip_count=out_channels):
+            act = b.load(fmap[layer], [b.const(layer)],
+                         line=LINE_CONV + 6 * layer)
+            bit = b.call(
+                dot.name,
+                [act, b.const(7 * layer, IntType(12, signed=False))],
+                IntType(8),
+                line=LINE_CONV + 6 * layer + 1,
+            ).result
+            packed = b.zext(bit, 32, line=LINE_CONV + 6 * layer + 2)
+            b.store(fmap[layer + 1], packed, [b.const(layer + 1)],
+                    line=LINE_CONV + 6 * layer + 3)
+            b.emit(
+                "add",
+                [packed, b.const(0, U32)],
+                U32,
+                attrs={"reduce": True, "acc_index": 1},
+                name=f"act_count_l{layer}",
+                line=LINE_CONV + 6 * layer + 4,
+            )
+        out_bits.append(top.operations[-1].result)
+
+    # --- dense argmax-ish reduction ----------------------------------------------
+    b.at(LINE_DENSE)
+    merged = adder_tree(b, out_bits, width=32, line=LINE_DENSE)
+    pred = b.and_(merged, b.const(0xF, U32), width=32, line=LINE_DENSE + 1)
+    b.write_port(pred_out, b.trunc(pred, 8, line=LINE_DENSE + 2),
+                 line=LINE_OUT)
+
+    d = DirectiveSet(f"bnn:{variant}")
+    if variant == "baseline":
+        for layer in range(n_layers):
+            d.unroll("bnn_top", f"L_OC_{layer}", unroll_factor)
+            d.partition(f"xnor_dot_l{layer}", f"wwords_l{layer}",
+                        unroll_factor)
+        d.partition("bnn_top", "fmap0", 4)
+        d.partition("bnn_top", "fmap1", 4)
+        d.pipeline("bnn_top", "L_READ", 1)
+        d.inline("xnor_dot_l0")
+
+    return KernelDesign(
+        name="bnn",
+        module=module,
+        directives=d,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={"n_layers": n_layers, "out_channels": out_channels,
+               "unroll": unroll_factor},
+    )

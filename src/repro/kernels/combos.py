@@ -1,0 +1,122 @@
+"""Benchmark combinations used by the paper's dataset (Section IV).
+
+"To fully utilize the available resources on FPGA ... we combine several
+benchmarks within the same top function": Face Detection runs alone,
+Digit Recognition + Spam Filtering share one top, and BNN + 3D Rendering
++ Optical Flow share another.  ``build_combined`` merges the member
+modules under a fresh top that invokes each member's former top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I32
+from repro.kernels.common import KernelDesign
+from repro.kernels.face_detection import build_face_detection
+from repro.kernels.digit_recognition import build_digit_recognition
+from repro.kernels.spam_filter import build_spam_filter
+from repro.kernels.bnn import build_bnn
+from repro.kernels.rendering_3d import build_rendering_3d
+from repro.kernels.optical_flow import build_optical_flow
+
+#: single-kernel generators by name
+KERNEL_BUILDERS: dict[str, Callable[..., KernelDesign]] = {
+    "face_detection": build_face_detection,
+    "digit_recognition": build_digit_recognition,
+    "spam_filter": build_spam_filter,
+    "bnn": build_bnn,
+    "rendering_3d": build_rendering_3d,
+    "optical_flow": build_optical_flow,
+}
+
+#: the paper's three dataset runs
+PAPER_COMBINATIONS: dict[str, tuple[str, ...]] = {
+    "face_detection": ("face_detection",),
+    "digit_spam": ("digit_recognition", "spam_filter"),
+    "bnn_render_flow": ("bnn", "rendering_3d", "optical_flow"),
+}
+
+
+def build_kernel(name: str, scale: float = 1.0,
+                 variant: str = "baseline") -> KernelDesign:
+    """Build a single kernel design by name."""
+    if name not in KERNEL_BUILDERS:
+        raise ReproError(
+            f"unknown kernel {name!r}; known: {sorted(KERNEL_BUILDERS)}"
+        )
+    return KERNEL_BUILDERS[name](scale=scale, variant=variant)
+
+
+def build_combined(combo: str, scale: float = 1.0,
+                   variant: str = "baseline") -> KernelDesign:
+    """Build one of the paper's benchmark combinations.
+
+    Member kernels keep their functions and directives; their former tops
+    become callees of a new combined top function.
+    """
+    if combo not in PAPER_COMBINATIONS:
+        raise ReproError(
+            f"unknown combination {combo!r}; known: "
+            f"{sorted(PAPER_COMBINATIONS)}"
+        )
+    members = PAPER_COMBINATIONS[combo]
+    designs = [build_kernel(name, scale=scale, variant=variant)
+               for name in members]
+    if len(designs) == 1:
+        return designs[0]
+
+    module = Module(f"{combo}[{variant}]")
+    merged = DirectiveSet(f"{combo}:{variant}")
+    member_tops: list[str] = []
+
+    for design in designs:
+        old_top = design.module.top
+        old_top.is_top = False
+        for func in design.module.functions.values():
+            if func.name in module.functions:
+                raise ReproError(
+                    f"function name clash {func.name!r} while combining"
+                )
+            module.functions[func.name] = func
+        member_tops.append(old_top.name)
+        merged.inlines.extend(design.directives.inlines)
+        merged.unrolls.extend(design.directives.unrolls)
+        merged.pipelines.extend(design.directives.pipelines)
+        merged.partitions.extend(design.directives.partitions)
+
+    top = Function(f"{combo}_top", is_top=True)
+    module.add_function(top)
+    module.set_top(top.name)
+    b = IRBuilder(top, f"{combo}.cpp")
+    stream_in = b.arg("stream_in", I32)
+    stream_out = b.arg("stream_out", I32)
+    b.at(1)
+    token = b.read_port(stream_in, line=1)
+    results = []
+    for i, name in enumerate(member_tops):
+        member = module.functions[name]
+        args = []
+        for arg in member.arguments:
+            args.append(token)
+        call = b.call(name, args, I32, line=2 + i)
+        results.append(call.result)
+    total = results[0]
+    for r in results[1:]:
+        total = b.add(total, r, width=32, line=len(member_tops) + 3)
+    b.write_port(stream_out, total, line=len(member_tops) + 4)
+
+    return KernelDesign(
+        name=combo,
+        module=module,
+        directives=merged,
+        variant=variant,
+        scale=scale,
+        source_file=f"{combo}.cpp",
+        notes={"members": list(members)},
+    )

@@ -1,0 +1,132 @@
+"""Digit Recognition (KNN over binary digit images), Rosetta-style.
+
+Per-test-instance flow: XOR the test digit against every training digit,
+popcount the difference, and maintain the k nearest neighbours with an
+insertion network, then majority-vote.  Directives: the training loop is
+unrolled, training words are partitioned, and the update loop pipelined —
+the classic KNN acceleration recipe.
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I16, I32, IntType, U32
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    check_variant,
+    popcount_tree,
+    scaled,
+)
+
+SOURCE_FILE = "digit_recognition.cpp"
+
+LINE_READ = 10
+LINE_DIST = 22
+LINE_KNN = 40
+LINE_VOTE = 52
+
+
+def _build_distance(module: Module, word_index: int) -> Function:
+    """Hamming distance between one test word and one training word."""
+    func = Function(f"hamming_{word_index}")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_DIST + word_index)
+    test = b.arg("test_word", U32)
+    train = b.arg("train_word", U32)
+    diff = b.xor(test, train, width=32, line=b.line)
+    count = popcount_tree(b, diff, word_bits=32, line=b.line)
+    b.ret(b.trunc(count, 8, line=b.line), line=b.line)
+    return func
+
+
+def build_digit_recognition(scale: float = 1.0,
+                            variant: str = "baseline") -> KernelDesign:
+    """Build the Digit Recognition design."""
+    check_variant(variant, STANDARD_VARIANTS)
+    module = Module(f"digit_recognition[{variant}]")
+
+    n_train = scaled(256, scale, minimum=16)
+    n_words = scaled(4, scale, minimum=1)        # 32-bit words per digit
+    k = 3
+    unroll_factor = scaled(8, scale, minimum=2)
+
+    distance_fns = [_build_distance(module, w) for w in range(n_words)]
+
+    top = Function("digit_rec_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    digit_in = b.arg("digit_in", U32)
+    label_out = b.arg("label_out", I32)
+
+    train_words = b.array("train_words", U32, (n_train * n_words,))
+    labels = b.array("train_labels", IntType(4, signed=False), (n_train,))
+    knn_dist = b.array("knn_dist", IntType(12), (k,))
+
+    # --- read the test digit ------------------------------------------------
+    b.at(LINE_READ)
+    test_words = []
+    for w in range(n_words):
+        word = b.read_port(digit_in, line=LINE_READ + w)
+        test_words.append(word)
+
+    # --- distance loop over the training set ---------------------------------
+    b.at(LINE_DIST)
+    with b.loop("L_TRAIN", trip_count=n_train):
+        partials = []
+        for w, fn in enumerate(distance_fns):
+            tw = b.load(train_words, [b.const(w)], line=LINE_DIST + 1)
+            dist_w = b.call(fn.name, [test_words[w], tw], IntType(8),
+                            line=LINE_DIST + 2).result
+            partials.append(b.zext(dist_w, 12, line=LINE_DIST + 2))
+        total = partials[0]
+        for p in partials[1:]:
+            total = b.add(total, p, width=12, line=LINE_DIST + 3)
+        # k-NN insertion network (compare against current k best)
+        worst = b.load(knn_dist, [b.const(k - 1)], line=LINE_KNN)
+        closer = b.icmp_slt(total, worst, line=LINE_KNN + 1)
+        new_worst = b.select(closer, total, worst, line=LINE_KNN + 2)
+        b.store(knn_dist, new_worst, [b.const(k - 1)], line=LINE_KNN + 3)
+        lbl = b.load(labels, [b.const(0)], line=LINE_KNN + 4)
+        b.emit(
+            "add",
+            [b.zext(lbl, 8), b.const(0, IntType(16))],
+            IntType(16),
+            attrs={"reduce": True, "acc_index": 1},
+            name="vote_count",
+            line=LINE_VOTE,
+        )
+    votes = top.operations[-1].result
+
+    # --- majority vote ---------------------------------------------------------
+    b.at(LINE_VOTE + 2)
+    half = b.const(n_train // 2, IntType(16))
+    winner = b.icmp_ugt(votes, half, line=LINE_VOTE + 2)
+    label = b.select(winner, b.const(1, I32), b.const(0, I32),
+                     line=LINE_VOTE + 3)
+    b.write_port(label_out, label, line=LINE_VOTE + 4)
+
+    d = DirectiveSet(f"digit_recognition:{variant}")
+    if variant == "baseline":
+        d.unroll("digit_rec_top", "L_TRAIN", unroll_factor)
+        d.partition("digit_rec_top", "train_words", unroll_factor * n_words)
+        d.partition("digit_rec_top", "knn_dist", 0)
+        d.partition("digit_rec_top", "train_labels", unroll_factor)
+        for fn in distance_fns:
+            d.inline(fn.name)
+
+    return KernelDesign(
+        name="digit_recognition",
+        module=module,
+        directives=d,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={"n_train": n_train, "n_words": n_words, "k": k,
+               "unroll": unroll_factor},
+    )

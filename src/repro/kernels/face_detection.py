@@ -1,0 +1,273 @@
+"""Face Detection (Viola-Jones cascade), the paper's case-study kernel.
+
+Structure mirrors Rosetta's face detection: an integral-image window
+buffer feeds a cascade of classifier stages; every stage accumulates
+weighted Haar-feature responses and compares against a stage threshold;
+stage results are summed and compared at the top — the region the paper
+identifies as the congestion hotspot ("routing congestion is detected at
+the region where multiple results returned by the classifiers are summed
+up and compared").
+
+Variants (Table I / Table VI):
+
+* ``baseline``       — classifiers inlined, scan loop completely unrolled
+  (the 625-replica loop of Section III-C1), feature loops unrolled,
+  window buffer completely partitioned: low latency, heavy congestion;
+* ``not_inline``     — identical directives minus the inlining
+  (congestion-resolution step 1);
+* ``replicate``      — additionally replicates the window buffer so each
+  classifier reads its own copy (resolution step 2: "replicating the
+  values of the input data and sending the copies to different
+  classifiers");
+* ``no_directives``  — the same source with no directives (Table I).
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I8, I16, I32, IntType
+from repro.kernels.common import (
+    KernelDesign,
+    adder_tree,
+    check_variant,
+    scaled,
+)
+
+VARIANTS = ("baseline", "not_inline", "replicate", "no_directives")
+
+SOURCE_FILE = "face_detection.cpp"
+
+#: source-line anchors (congestion reports point at these)
+LINE_READ_IMAGE = 12
+LINE_INTEGRAL = 24
+LINE_CLASSIFIER = 40
+LINE_SCAN = 58
+LINE_SUM_COMPARE = 71
+LINE_WRITE = 80
+
+
+#: integral-image samples each classifier stage consumes per window
+N_TAPS = 8
+
+
+def _build_classifier(module: Module, stage: int, n_features: int) -> Function:
+    """One cascade stage: weighted Haar rectangle sums vs. a threshold.
+
+    Like Rosetta's generated weak classifiers, the feature evaluations are
+    straight-line code, so the stage occupies real area even with no
+    directives.  The stage's interface takes :data:`N_TAPS` integral-image
+    samples — in the original these are reads of the shared (completely
+    partitioned) window buffer, which is exactly the interconnection the
+    case study's replication step relieves.  Most weights are powers of
+    two (shift-add); every fourth feature uses a genuine multiply.
+    """
+    func = Function(f"classifier_{stage}")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_CLASSIFIER + stage)
+
+    samples = [b.arg(f"s{j}", I16) for j in range(N_TAPS)]
+    threshold = b.arg("threshold", I16)
+
+    coeffs = b.array(f"coeff_{stage}", I16, (n_features * 4,))
+
+    responses = []
+    for f in range(n_features):
+        line = LINE_CLASSIFIER + stage + f
+        a = samples[f % N_TAPS]
+        c = samples[(f + 1 + stage) % N_TAPS]
+        rect_sum = b.sub(a, c, width=16, line=line)
+        if f % 2 == 0:
+            coeff = b.load(coeffs, [b.const(4 * f + stage)], line=line)
+            resp = b.mul(rect_sum, coeff, width=16, line=line)
+        else:
+            # power-of-two weight: shift-add
+            shifted = b.shl(rect_sum, b.const(1 + f % 3), line=line)
+            resp = b.add(shifted, rect_sum, width=16, line=line)
+        responses.append(b.ashr(resp, b.const(4), line=line))
+    total = adder_tree(b, responses, width=16, line=b.line)
+    passed = b.icmp_sgt(total, threshold, line=b.line)
+    verdict = b.select(passed, b.const(1, I8), b.const(0, I8), line=b.line)
+    b.ret(verdict, line=b.line)
+    return func
+
+
+def build_face_detection(scale: float = 1.0,
+                         variant: str = "baseline") -> KernelDesign:
+    """Build the Face Detection design for one variant."""
+    check_variant(variant, VARIANTS)
+    module = Module(f"face_detection[{variant}]")
+
+    n_stages = scaled(14, scale, minimum=2)
+    n_features = scaled(14, scale, minimum=3)
+    n_windows = scaled(25, scale, minimum=2)
+    n_scan = scaled(300, scale, minimum=16)       # the unrolled scan loop
+    # (the paper's Face Detection had a 625-replica unrolled loop; we use
+    # 300 at scale=1.0 so replica samples keep a realistic share of the
+    # dataset on our smaller simulated fabric — pass scale>2 to exceed 625)
+    img_size = scaled(4096, scale, minimum=64)
+    window_words = scaled(64, scale, minimum=16)
+    replicate = variant == "replicate"
+
+    classifiers = [
+        _build_classifier(module, s, n_features) for s in range(n_stages)
+    ]
+
+    top = Function("face_detect_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    image_in = b.arg("image_in", I8)
+    result_out = b.arg("result_out", I32)
+
+    img = b.array("img", I8, (img_size,))
+    # The shared window buffer — the "completely partitioned array" of the
+    # case study.  The replicate variant gives classifier groups copies.
+    n_copies = min(4, n_stages) if replicate else 1
+    windows = [
+        b.array(f"window{c}" if replicate else "window", I16, (window_words,))
+        for c in range(n_copies)
+    ]
+
+    # --- frame read -------------------------------------------------------
+    b.at(LINE_READ_IMAGE)
+    with b.loop("L_READ", trip_count=img_size):
+        pixel = b.read_port(image_in, line=LINE_READ_IMAGE)
+        offset = b.zext(pixel, 16, line=LINE_READ_IMAGE + 1)
+        b.store(img, pixel, [offset], line=LINE_READ_IMAGE + 2)
+
+    # --- integral-image window update ---------------------------------------
+    b.at(LINE_INTEGRAL)
+    with b.loop("L_II", trip_count=img_size // 2):
+        px = b.load(img, [b.const(3)], line=LINE_INTEGRAL)
+        left = b.zext(px, 16, line=LINE_INTEGRAL + 1)
+        up = b.load(windows[0], [b.const(1)], line=LINE_INTEGRAL + 2)
+        acc = b.add(left, up, width=16, line=LINE_INTEGRAL + 3)
+        for window in windows:
+            b.store(window, acc, [b.const(2)], line=LINE_INTEGRAL + 4)
+
+    # --- the scan loop (625 replicas when unrolled) --------------------------
+    # Narrow 8-bit datapath, like the strong-edge pre-filter in Rosetta:
+    # each replica is a handful of small operations, so complete unrolling
+    # yields many copies spread across the device (Section III-C1).
+    b.at(LINE_SCAN)
+    seed0 = b.load(img, [b.const(5)], line=LINE_SCAN)
+    with b.loop("L_SCAN", trip_count=n_scan):
+        v0 = b.load(img, [b.const(9)], line=LINE_SCAN)
+        diff = b.sub(v0, seed0, width=8, line=LINE_SCAN + 2)
+        strong = b.icmp_sgt(diff, b.const(12), line=LINE_SCAN + 3)
+        b.emit(
+            "add",
+            [b.zext(strong, 8), b.const(0, IntType(12))],
+            IntType(12),
+            attrs={"reduce": True, "acc_index": 1},
+            name="scan_acc",
+            line=LINE_SCAN + 4,
+        )
+    scan_total = top.operations[-1].result
+
+    # --- cascade: classify every window, accumulate verdicts -----------------
+    # Every stage samples the window buffer through its interface.  Without
+    # replication all stages read the *same* completely-partitioned buffer
+    # elements (the fan-out hub the paper's case study identifies); with
+    # replication each classifier group loads from its own copy.
+    b.at(LINE_SUM_COMPARE - 8)
+    with b.loop("L_WIN", trip_count=n_windows):
+        votes = []
+        # Cascade semantics: stage s+1's threshold depends on stage s's
+        # verdict, so stages execute sequentially — which lets the binder
+        # share stage datapaths once they are inlined into one function.
+        prev_verdict = b.const(100, I16)
+        for s, classifier in enumerate(classifiers):
+            window = windows[s % n_copies]
+            # Data-dependent addressing: the sample window of stage s+1
+            # shifts by the previous stage's verdict, which serializes the
+            # stage datapaths (real cascades only evaluate survivors) and
+            # lets the binder share them once inlined.
+            gate = b.and_(prev_verdict, b.const(1, I16),
+                          line=LINE_SUM_COMPARE - 9)
+            samples = [
+                b.load(
+                    window,
+                    [b.add(gate, b.const(j), width=16,
+                           line=LINE_SUM_COMPARE - 8)],
+                    line=LINE_SUM_COMPARE - 8,
+                )
+                for j in range(N_TAPS)
+            ]
+            verdict = b.call(
+                classifier.name,
+                [*samples, prev_verdict],
+                I8,
+                line=LINE_SUM_COMPARE - 5,
+            ).result
+            wide = b.zext(verdict, 16, line=LINE_SUM_COMPARE - 4)
+            prev_verdict = b.add(wide, b.const(100 + 17 * s, I16), width=16,
+                                 line=LINE_SUM_COMPARE - 4)
+            votes.append(wide)
+        # The sum-and-compare hotspot: all stage verdicts merge here.
+        window_vote = adder_tree(b, votes, width=16,
+                                 line=LINE_SUM_COMPARE)
+        b.emit(
+            "add",
+            [window_vote, b.const(0, IntType(16))],
+            IntType(16),
+            attrs={"reduce": True, "acc_index": 1},
+            name="vote_acc",
+            line=LINE_SUM_COMPARE + 1,
+        )
+    total_votes = top.operations[-1].result
+
+    b.at(LINE_SUM_COMPARE + 2)
+    merged = b.add(total_votes, scan_total, width=16,
+                   line=LINE_SUM_COMPARE + 2)
+    is_face = b.icmp_sgt(merged, b.const(n_stages * n_windows // 2),
+                         line=LINE_SUM_COMPARE + 3)
+    encoded = b.select(is_face, b.const(1, I32), b.const(0, I32),
+                       line=LINE_SUM_COMPARE + 4)
+
+    b.at(LINE_WRITE)
+    b.write_port(result_out, encoded, line=LINE_WRITE)
+
+    directives = _directives_for(module, variant, n_stages, n_features)
+    return KernelDesign(
+        name="face_detection",
+        module=module,
+        directives=directives,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={
+            "n_stages": n_stages,
+            "n_scan": n_scan,
+            "n_windows": n_windows,
+            "replicated": replicate,
+        },
+    )
+
+
+def _directives_for(module: Module, variant: str, n_stages: int,
+                    n_features: int) -> DirectiveSet:
+    top = "face_detect_top"
+    d = DirectiveSet(f"face_detection:{variant}")
+    if variant == "no_directives":
+        return d
+    # Shared optimized core: completely unroll the scan loop (the 625
+    # replicas), pipeline the streaming loops, unroll the classifier
+    # feature loops and completely partition the window buffer(s).
+    d.unroll(top, "L_SCAN", 0)
+    d.pipeline(top, "L_READ", 1)
+    d.pipeline(top, "L_II", 1)
+    d.partition(top, "img", 64)
+    for array in module.functions[top].arrays:
+        if array.startswith("window"):
+            d.partition(top, array, 0)
+    for s in range(n_stages):
+        d.partition(f"classifier_{s}", f"coeff_{s}", 4)
+    if variant == "baseline":
+        for s in range(n_stages):
+            d.inline(f"classifier_{s}")
+    return d

@@ -1,0 +1,149 @@
+"""Optical Flow (Lucas-Kanade gradient pipeline), Rosetta-style.
+
+Stencil pipeline over a frame pair: 5-tap x/y/t gradients, outer products
+of the gradient vector, windowed tensor accumulation, and the final flow
+division.  Directives pipeline the row loops, unroll the stencil taps and
+partition the line buffers.
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I16, I32, IntType
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    adder_tree,
+    check_variant,
+    scaled,
+)
+
+SOURCE_FILE = "optical_flow.cpp"
+
+LINE_GRAD = 10
+LINE_OUTER = 28
+LINE_TENSOR = 38
+LINE_FLOW = 50
+
+#: 5-tap derivative coefficients (Rosetta uses 1, -8, 0, 8, -1 / 12)
+_TAPS = (1, -8, 0, 8, -1)
+
+
+def _build_gradient(module: Module, axis: str) -> Function:
+    """5-tap derivative along one axis."""
+    func = Function(f"gradient_{axis}")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_GRAD)
+    pixels = [b.arg(f"p{i}", I16) for i in range(5)]
+    terms = []
+    for i, (pixel, tap) in enumerate(zip(pixels, _TAPS)):
+        if tap == 0:
+            continue
+        line = LINE_GRAD + i
+        if abs(tap) == 8:
+            term = b.shl(pixel, b.const(3), line=line)
+        else:
+            term = pixel
+        if tap < 0:
+            term = b.neg(term, line=line)
+        terms.append(term)
+    total = adder_tree(b, terms, width=16, line=LINE_GRAD + 5)
+    b.ret(b.ashr(total, b.const(3), line=LINE_GRAD + 6),
+          line=LINE_GRAD + 6)
+    return func
+
+
+def build_optical_flow(scale: float = 1.0,
+                       variant: str = "baseline") -> KernelDesign:
+    """Build the Optical Flow design."""
+    check_variant(variant, STANDARD_VARIANTS)
+    module = Module(f"optical_flow[{variant}]")
+
+    n_rows = scaled(32, scale, minimum=4)
+    n_cols = scaled(32, scale, minimum=8)
+    window = 5
+    unroll_factor = scaled(4, scale, minimum=2)
+
+    grad_x = _build_gradient(module, "x")
+    grad_y = _build_gradient(module, "y")
+
+    top = Function("optical_flow_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    frame_in = b.arg("frame_in", I16)
+    flow_out = b.arg("flow_out", I32)
+
+    line_buf = b.array("line_buf", I16, (window * n_cols,))
+    tensor = b.array("tensor", I32, (6 * n_cols,))
+
+    # --- gradient pass -------------------------------------------------------
+    b.at(LINE_GRAD - 2)
+    with b.loop("L_ROW", trip_count=n_rows):
+        with b.loop("L_COL", trip_count=n_cols, line=LINE_GRAD - 1):
+            pix = b.read_port(frame_in, line=LINE_GRAD - 1)
+            b.store(line_buf, pix, [b.const(0)], line=LINE_GRAD - 1)
+            taps = [
+                b.load(line_buf, [b.const(i)], line=LINE_GRAD)
+                for i in range(window)
+            ]
+            gx = b.call(grad_x.name, taps, I16, line=LINE_GRAD + 7).result
+            gy = b.call(grad_y.name, taps, I16, line=LINE_GRAD + 8).result
+            gt = b.sub(taps[2], pix, width=16, line=LINE_GRAD + 9)
+
+            # outer products of (gx, gy, gt)
+            b.at(LINE_OUTER)
+            products = [
+                b.mul(gx, gx, width=32, line=LINE_OUTER),
+                b.mul(gy, gy, width=32, line=LINE_OUTER + 1),
+                b.mul(gx, gy, width=32, line=LINE_OUTER + 2),
+                b.mul(gx, gt, width=32, line=LINE_OUTER + 3),
+                b.mul(gy, gt, width=32, line=LINE_OUTER + 4),
+                b.mul(gt, gt, width=32, line=LINE_OUTER + 5),
+            ]
+            # tensor accumulation
+            b.at(LINE_TENSOR)
+            for i, product in enumerate(products):
+                old = b.load(tensor, [b.const(i)], line=LINE_TENSOR + i)
+                acc = b.add(old, product, width=32, line=LINE_TENSOR + i)
+                b.store(tensor, acc, [b.const(i)], line=LINE_TENSOR + i)
+
+    # --- flow computation: solve the 2x2 system per column ---------------------
+    b.at(LINE_FLOW)
+    with b.loop("L_FLOW", trip_count=n_cols):
+        a = b.load(tensor, [b.const(0)], line=LINE_FLOW)
+        d = b.load(tensor, [b.const(1)], line=LINE_FLOW)
+        bb = b.load(tensor, [b.const(2)], line=LINE_FLOW + 1)
+        px = b.load(tensor, [b.const(3)], line=LINE_FLOW + 1)
+        det = b.sub(
+            b.mul(a, d, width=32, line=LINE_FLOW + 2),
+            b.mul(bb, bb, width=32, line=LINE_FLOW + 2),
+            width=32, line=LINE_FLOW + 3,
+        )
+        num = b.mul(px, d, width=32, line=LINE_FLOW + 4)
+        safe_det = b.or_(det, b.const(1, I32), width=32, line=LINE_FLOW + 5)
+        flow = b.sdiv(num, safe_det, width=32, line=LINE_FLOW + 5)
+        b.write_port(flow_out, flow, line=LINE_FLOW + 6)
+
+    directives = DirectiveSet(f"optical_flow:{variant}")
+    if variant == "baseline":
+        directives.pipeline("optical_flow_top", "L_COL", 1)
+        directives.unroll("optical_flow_top", "L_FLOW", unroll_factor)
+        directives.partition("optical_flow_top", "line_buf", window)
+        directives.partition("optical_flow_top", "tensor", 6)
+        directives.inline("gradient_x")
+        directives.inline("gradient_y")
+
+    return KernelDesign(
+        name="optical_flow",
+        module=module,
+        directives=directives,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={"n_rows": n_rows, "n_cols": n_cols, "unroll": unroll_factor},
+    )

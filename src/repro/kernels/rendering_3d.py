@@ -1,0 +1,147 @@
+"""3D Rendering (triangle rasterization pipeline), Rosetta-style.
+
+Per triangle: project vertices (3x3 fixed-point matrix multiply),
+compute the bounding box, evaluate edge functions over candidate pixels
+and update the z-buffer.  Directives pipeline the pixel loop and
+partition the z-buffer into column banks.
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I16, I32, IntType
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    adder_tree,
+    check_variant,
+    scaled,
+)
+
+SOURCE_FILE = "rendering_3d.cpp"
+
+LINE_PROJECT = 11
+LINE_BBOX = 26
+LINE_RASTER = 34
+LINE_ZBUF = 47
+
+
+def _build_projection(module: Module) -> Function:
+    """3x3 matrix-vector projection of one vertex (9 mul, 6 add)."""
+    func = Function("project_vertex")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_PROJECT)
+    coords = [b.arg(f"v{i}", I16) for i in range(3)]
+    mat = b.array("proj_mat", I16, (9,))
+    outs = []
+    for row in range(3):
+        terms = []
+        for col in range(3):
+            m = b.load(mat, [b.const(3 * row + col)],
+                       line=LINE_PROJECT + row)
+            terms.append(b.mul(m, coords[col], width=16,
+                               line=LINE_PROJECT + row))
+        outs.append(adder_tree(b, terms, width=16, line=LINE_PROJECT + row))
+    packed = b.emit("concat", outs, IntType(48), line=LINE_PROJECT + 4).result
+    b.ret(packed, line=LINE_PROJECT + 5)
+    return func
+
+
+def build_rendering_3d(scale: float = 1.0,
+                       variant: str = "baseline") -> KernelDesign:
+    """Build the 3D Rendering design."""
+    check_variant(variant, STANDARD_VARIANTS)
+    module = Module(f"rendering_3d[{variant}]")
+
+    n_triangles = scaled(64, scale, minimum=4)
+    n_pixels = scaled(64, scale, minimum=8)      # candidate pixels/triangle
+    zbuf_size = scaled(256, scale, minimum=32)
+    unroll_factor = scaled(8, scale, minimum=2)
+
+    project = _build_projection(module)
+
+    top = Function("rendering_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    tri_in = b.arg("triangle_in", I16)
+    frame_out = b.arg("frame_out", I32)
+
+    zbuf = b.array("zbuf", I16, (zbuf_size,))
+
+    b.at(LINE_PROJECT - 2)
+    with b.loop("L_TRI", trip_count=n_triangles):
+        # read and project the three vertices
+        verts = []
+        for v in range(3):
+            coords = [b.read_port(tri_in, line=LINE_PROJECT - 2)
+                      for _ in range(3)]
+            packed = b.call(project.name, coords, IntType(48),
+                            line=LINE_PROJECT - 1).result
+            verts.append(packed)
+
+        # bounding box: min/max via compare+select chains
+        b.at(LINE_BBOX)
+        xs = [b.trunc(v, 16, line=LINE_BBOX) for v in verts]
+        lo = xs[0]
+        hi = xs[0]
+        for x in xs[1:]:
+            lt = b.icmp_slt(x, lo, line=LINE_BBOX + 1)
+            lo = b.select(lt, x, lo, line=LINE_BBOX + 1)
+            gt = b.icmp_sgt(x, hi, line=LINE_BBOX + 2)
+            hi = b.select(gt, x, hi, line=LINE_BBOX + 2)
+        span = b.sub(hi, lo, width=16, line=LINE_BBOX + 3)
+
+        # rasterize candidate pixels: three edge functions per pixel
+        with b.loop("L_PIX", trip_count=n_pixels, line=LINE_RASTER):
+            edges = []
+            for e in range(3):
+                a = b.trunc(verts[e], 16, line=LINE_RASTER + e)
+                diff = b.sub(a, span, width=16, line=LINE_RASTER + e)
+                edge = b.mac(diff, b.const(3, I16), span, width=16,
+                             line=LINE_RASTER + e)
+                edges.append(b.icmp_sge(edge, b.const(0), line=LINE_RASTER + e))
+            inside01 = b.and_(b.zext(edges[0], 4), b.zext(edges[1], 4),
+                              width=4, line=LINE_RASTER + 3)
+            inside = b.and_(inside01, b.zext(edges[2], 4), width=4,
+                            line=LINE_RASTER + 3)
+
+            # z-test and conditional write
+            b.at(LINE_ZBUF)
+            z_old = b.load(zbuf, [b.const(5)], line=LINE_ZBUF)
+            z_new = b.add(span, b.const(1, I16), width=16,
+                          line=LINE_ZBUF + 1)
+            nearer = b.icmp_slt(z_new, z_old, line=LINE_ZBUF + 2)
+            take = b.and_(b.zext(nearer, 4), inside, width=4,
+                          line=LINE_ZBUF + 2)
+            z_write = b.select(take, z_new, z_old, line=LINE_ZBUF + 3)
+            b.store(zbuf, z_write, [b.const(5)], line=LINE_ZBUF + 4)
+
+    # --- frame out -------------------------------------------------------------
+    b.at(LINE_ZBUF + 7)
+    with b.loop("L_OUT", trip_count=zbuf_size):
+        z = b.load(zbuf, [b.const(9)], line=LINE_ZBUF + 7)
+        b.write_port(frame_out, z, line=LINE_ZBUF + 8)
+
+    d = DirectiveSet(f"rendering_3d:{variant}")
+    if variant == "baseline":
+        d.pipeline("rendering_top", "L_PIX", 2)
+        d.unroll("rendering_top", "L_PIX", unroll_factor)
+        d.partition("rendering_top", "zbuf", unroll_factor * 2)
+        d.pipeline("rendering_top", "L_OUT", 1)
+        d.inline("project_vertex")
+
+    return KernelDesign(
+        name="rendering_3d",
+        module=module,
+        directives=d,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={"n_triangles": n_triangles, "n_pixels": n_pixels,
+               "unroll": unroll_factor},
+    )

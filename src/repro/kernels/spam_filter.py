@@ -1,0 +1,146 @@
+"""Spam Filtering (logistic-regression SGD), Rosetta-style.
+
+Stochastic gradient descent over a feature vector: dot product against
+the weight vector, a piecewise-linear sigmoid, then a weight update loop.
+Directives unroll the dot/update loops and partition the weight vector,
+trading area for throughput exactly like the Rosetta implementation.
+"""
+
+from __future__ import annotations
+
+from repro.hls.directives import DirectiveSet
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I16, I32, IntType
+from repro.kernels.common import (
+    KernelDesign,
+    STANDARD_VARIANTS,
+    check_variant,
+    mux_chain_select,
+    scaled,
+)
+
+SOURCE_FILE = "spam_filter.cpp"
+
+LINE_READ = 8
+LINE_DOT = 20
+LINE_SIGMOID = 33
+LINE_UPDATE = 45
+
+
+def _build_sigmoid(module: Module) -> Function:
+    """Piecewise-linear sigmoid on fixed point (the Rosetta 'lut' trick)."""
+    func = Function("sigmoid_pwl")
+    module.add_function(func)
+    b = IRBuilder(func, SOURCE_FILE)
+    b.at(LINE_SIGMOID)
+    x = b.arg("x", I16)
+    segments = []
+    for i, (threshold, slope_shift, offset) in enumerate(
+        [(-64, 4, 2), (-16, 3, 8), (16, 2, 32), (64, 3, 56)]
+    ):
+        cond = b.icmp_slt(x, b.const(threshold, I16), line=b.line + i)
+        seg = b.add(
+            b.ashr(x, b.const(slope_shift), line=b.line + i),
+            b.const(offset, I16),
+            width=16,
+            line=b.line + i,
+        )
+        segments.append((cond, seg))
+    result = mux_chain_select(b, segments, b.const(63, I16), line=b.line + 4)
+    b.ret(result, line=b.line + 5)
+    return func
+
+
+def build_spam_filter(scale: float = 1.0,
+                      variant: str = "baseline") -> KernelDesign:
+    """Build the Spam Filtering design."""
+    check_variant(variant, STANDARD_VARIANTS)
+    module = Module(f"spam_filter[{variant}]")
+
+    n_features = scaled(512, scale, minimum=32)
+    n_samples = scaled(32, scale, minimum=4)
+    n_epochs = scaled(3, scale, minimum=1)
+    unroll_factor = scaled(16, scale, minimum=2)
+
+    sigmoid = _build_sigmoid(module)
+
+    top = Function("spam_filter_top", is_top=True)
+    module.add_function(top)
+    b = IRBuilder(top, SOURCE_FILE)
+
+    sample_in = b.arg("sample_in", I16)
+    weights_out = b.arg("weights_out", I16)
+
+    weights = b.array("weights", I16, (n_features,))
+    feature_vec = b.array("feature_vec", I16, (n_features,))
+    label_buf = b.array("label_buf", IntType(2), (n_samples,))
+
+    # --- stream one sample's features in ------------------------------------
+    b.at(LINE_READ)
+    with b.loop("L_READ", trip_count=n_features):
+        f = b.read_port(sample_in, line=LINE_READ)
+        b.store(feature_vec, f, [b.const(0)], line=LINE_READ + 1)
+
+    # --- SGD epochs ------------------------------------------------------------
+    b.at(LINE_DOT - 2)
+    with b.loop("L_EPOCH", trip_count=n_epochs):
+        with b.loop("L_SAMPLE", trip_count=n_samples):
+            # dot product
+            with b.loop("L_DOT", trip_count=n_features, line=LINE_DOT):
+                w = b.load(weights, [b.const(0)], line=LINE_DOT)
+                f = b.load(feature_vec, [b.const(1)], line=LINE_DOT + 1)
+                prod = b.mul(w, f, width=16, line=LINE_DOT + 2)
+                scaled_p = b.ashr(prod, b.const(6), line=LINE_DOT + 3)
+                b.emit(
+                    "add",
+                    [scaled_p, b.const(0, I16)],
+                    I16,
+                    attrs={"reduce": True, "acc_index": 1},
+                    name="dot_acc",
+                    line=LINE_DOT + 4,
+                )
+            dot = top.operations[-1].result
+
+            # sigmoid + error
+            prob = b.call(sigmoid.name, [dot], I16, line=LINE_SIGMOID).result
+            lbl = b.load(label_buf, [b.const(2)], line=LINE_SIGMOID + 1)
+            err = b.sub(prob, b.sext(lbl, 16), width=16,
+                        line=LINE_SIGMOID + 2)
+
+            # weight update
+            with b.loop("L_UPD", trip_count=n_features, line=LINE_UPDATE):
+                w = b.load(weights, [b.const(3)], line=LINE_UPDATE)
+                f = b.load(feature_vec, [b.const(4)], line=LINE_UPDATE + 1)
+                grad = b.mul(err, f, width=16, line=LINE_UPDATE + 2)
+                step = b.ashr(grad, b.const(8), line=LINE_UPDATE + 3)
+                neww = b.sub(w, step, width=16, line=LINE_UPDATE + 4)
+                b.store(weights, neww, [b.const(3)], line=LINE_UPDATE + 5)
+
+    # --- stream the weights out ----------------------------------------------
+    b.at(LINE_UPDATE + 8)
+    with b.loop("L_OUT", trip_count=n_features):
+        w = b.load(weights, [b.const(7)], line=LINE_UPDATE + 8)
+        b.write_port(weights_out, w, line=LINE_UPDATE + 9)
+
+    d = DirectiveSet(f"spam_filter:{variant}")
+    if variant == "baseline":
+        d.unroll("spam_filter_top", "L_DOT", unroll_factor)
+        d.unroll("spam_filter_top", "L_UPD", unroll_factor)
+        d.partition("spam_filter_top", "weights", unroll_factor)
+        d.partition("spam_filter_top", "feature_vec", unroll_factor)
+        d.pipeline("spam_filter_top", "L_READ", 1)
+        d.pipeline("spam_filter_top", "L_OUT", 1)
+        d.inline("sigmoid_pwl")
+
+    return KernelDesign(
+        name="spam_filter",
+        module=module,
+        directives=d,
+        variant=variant,
+        scale=scale,
+        source_file=SOURCE_FILE,
+        notes={"n_features": n_features, "n_samples": n_samples,
+               "unroll": unroll_factor},
+    )

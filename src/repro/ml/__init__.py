@@ -1,0 +1,36 @@
+"""From-scratch NumPy ML stack with a scikit-learn-style API."""
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+from repro.ml.metrics import (
+    mean_absolute_error,
+    median_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    r2_score,
+    max_error,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.model_selection import (
+    train_test_split,
+    KFold,
+    cross_val_score,
+    GridSearchCV,
+    GridSearchResult,
+)
+from repro.ml.linear import LinearRegression, LassoRegression
+from repro.ml.mlp import MLPRegressor
+from repro.ml.tree import FeatureBinner, DecisionTreeRegressor
+from repro.ml.gbrt import GradientBoostingRegressor, RandomForestRegressor
+
+__all__ = [
+    "BaseEstimator", "RegressorMixin", "check_array", "check_X_y",
+    "mean_absolute_error", "median_absolute_error", "mean_squared_error",
+    "root_mean_squared_error", "r2_score", "max_error",
+    "StandardScaler",
+    "train_test_split", "KFold", "cross_val_score", "GridSearchCV",
+    "GridSearchResult",
+    "LinearRegression", "LassoRegression",
+    "MLPRegressor",
+    "FeatureBinner", "DecisionTreeRegressor",
+    "GradientBoostingRegressor", "RandomForestRegressor",
+]

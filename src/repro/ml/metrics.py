@@ -1,0 +1,61 @@
+"""Regression metrics.
+
+The paper evaluates congestion estimators with MAE ("the average value of
+the absolute relative errors") and MedAE ("the distribution of the
+absolute relative errors which is robust to outliers"), matching
+scikit-learn's ``mean_absolute_error`` and ``median_absolute_error``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise MLError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise MLError("cannot score empty arrays")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """MAE = (1/N) * sum(|y_i - yhat_i|)  (paper Section IV-A)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def median_absolute_error(y_true, y_pred) -> float:
+    """MedAE = median(|y_1 - yhat_1|, ..., |y_n - yhat_n|)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.median(np.abs(y_true - y_pred)))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 - SSE/SST)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    sse = float(np.sum((y_true - y_pred) ** 2))
+    sst = float(np.sum((y_true - y_true.mean()) ** 2))
+    if sst == 0.0:
+        return 0.0 if sse > 0 else 1.0
+    return 1.0 - sse / sst
+
+
+def max_error(y_true, y_pred) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))

@@ -1,0 +1,207 @@
+"""Multi-layer perceptron regressor (the paper's ANN model).
+
+"Between the input and output layers, there are several hidden layers in
+which each neuron performs a weighted linear transformation on the values
+from the previous layer, followed by a non-linear activation function."
+
+Implementation: fully-connected ReLU/tanh network trained with Adam on
+mini-batches, optional early stopping on a held-out validation fraction.
+Features are standardized internally (networks are scale-sensitive; the
+raw Table II features span several orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import BaseEstimator, RegressorMixin, check_X_y, check_array
+from repro.util.rng import ensure_rng
+
+_ACTIVATIONS = ("relu", "tanh")
+
+
+class MLPRegressor(BaseEstimator, RegressorMixin):
+    """Feed-forward neural-network regressor trained with Adam."""
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (64, 32),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        max_epochs: int = 150,
+        l2: float = 1e-4,
+        early_stopping: bool = True,
+        validation_fraction: float = 0.1,
+        patience: int = 12,
+        random_state: int = 0,
+    ) -> None:
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.l2 = l2
+        self.early_stopping = early_stopping
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _act(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(z, 0.0)
+        return np.tanh(z)
+
+    def _act_grad(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return (z > 0.0).astype(np.float64)
+        return 1.0 - np.tanh(z) ** 2
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "MLPRegressor":
+        X, y = check_X_y(X, y)
+        if self.activation not in _ACTIVATIONS:
+            raise MLError(
+                f"activation must be one of {_ACTIVATIONS}, got "
+                f"{self.activation!r}"
+            )
+        if not self.hidden_layer_sizes:
+            raise MLError("need at least one hidden layer")
+        rng = ensure_rng(self.random_state)
+
+        # Internal standardization of inputs and target.
+        self._x_mean = X.mean(axis=0)
+        x_std = X.std(axis=0)
+        x_std[x_std < 1e-12] = 1.0
+        self._x_std = x_std
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        Xs = (X - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+
+        # Validation split for early stopping.
+        n = Xs.shape[0]
+        if self.early_stopping and n >= 20:
+            n_val = max(1, int(n * self.validation_fraction))
+            perm = rng.permutation(n)
+            val_idx, train_idx = perm[:n_val], perm[n_val:]
+            X_val, y_val = Xs[val_idx], ys[val_idx]
+            Xs, ys = Xs[train_idx], ys[train_idx]
+        else:
+            X_val = y_val = None
+
+        sizes = [Xs.shape[1], *self.hidden_layer_sizes, 1]
+        weights, biases = [], []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+
+        m_w = [np.zeros_like(w) for w in weights]
+        v_w = [np.zeros_like(w) for w in weights]
+        m_b = [np.zeros_like(b) for b in biases]
+        v_b = [np.zeros_like(b) for b in biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = np.inf
+        best_state = None
+        stale = 0
+        self.loss_curve_: list[float] = []
+
+        n_train = Xs.shape[0]
+        batch = min(self.batch_size, n_train)
+        for epoch in range(self.max_epochs):
+            perm = rng.permutation(n_train)
+            epoch_loss = 0.0
+            for start in range(0, n_train, batch):
+                idx = perm[start:start + batch]
+                xb, yb = Xs[idx], ys[idx]
+
+                # forward
+                zs, activations = [], [xb]
+                a = xb
+                for layer, (w, b) in enumerate(zip(weights, biases)):
+                    z = a @ w + b
+                    zs.append(z)
+                    a = z if layer == len(weights) - 1 else self._act(z)
+                    activations.append(a)
+                pred = activations[-1][:, 0]
+                err = pred - yb
+                epoch_loss += float((err ** 2).sum())
+
+                # backward
+                delta = (2.0 * err / len(idx))[:, None]
+                grads_w = [None] * len(weights)
+                grads_b = [None] * len(weights)
+                for layer in range(len(weights) - 1, -1, -1):
+                    grads_w[layer] = (
+                        activations[layer].T @ delta + self.l2 * weights[layer]
+                    )
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ weights[layer].T) * self._act_grad(
+                            zs[layer - 1]
+                        )
+
+                # Adam update
+                step += 1
+                lr_t = self.learning_rate * (
+                    np.sqrt(1 - beta2 ** step) / (1 - beta1 ** step)
+                )
+                for layer in range(len(weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    weights[layer] -= lr_t * m_w[layer] / (np.sqrt(v_w[layer]) + eps)
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    biases[layer] -= lr_t * m_b[layer] / (np.sqrt(v_b[layer]) + eps)
+
+            self.loss_curve_.append(epoch_loss / n_train)
+
+            if X_val is not None:
+                val_pred = self._forward(X_val, weights, biases)
+                val_loss = float(np.mean((val_pred - y_val) ** 2))
+                if val_loss < best_val - 1e-7:
+                    best_val = val_loss
+                    best_state = (
+                        [w.copy() for w in weights],
+                        [b.copy() for b in biases],
+                    )
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+
+        if best_state is not None:
+            weights, biases = best_state
+        self._weights = weights
+        self._biases = biases
+        self.n_features_in_ = X.shape[1]
+        self.n_epochs_ = len(self.loss_curve_)
+        self._mark_fitted()
+        return self
+
+    # ------------------------------------------------------------------
+    def _forward(self, Xs, weights, biases) -> np.ndarray:
+        a = Xs
+        last = len(weights) - 1
+        for layer, (w, b) in enumerate(zip(weights, biases)):
+            z = a @ w + b
+            a = z if layer == last else self._act(z)
+        return a[:, 0]
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise MLError(
+                f"X has {X.shape[1]} features, model fitted on "
+                f"{self.n_features_in_}"
+            )
+        Xs = (X - self._x_mean) / self._x_std
+        pred = self._forward(Xs, self._weights, self._biases)
+        return pred * self._y_std + self._y_mean

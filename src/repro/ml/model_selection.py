@@ -1,0 +1,185 @@
+"""Train/test splitting, k-fold cross-validation and grid search.
+
+The paper's protocol (Section IV-A): "We randomly select 80% samples from
+our dataset for training and the rest 20% for testing.  We employ a
+10-fold cross-validation on the training set and grid search is applied
+to find the best hyperparameters of each model."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import BaseEstimator
+from repro.util.rng import ensure_rng
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.2,
+    random_state=None,
+    extras: Sequence[np.ndarray] = (),
+):
+    """Random split into train and test partitions.
+
+    ``extras`` are additional aligned arrays split with the same
+    permutation (e.g. sample metadata); they are appended pairwise to the
+    returned tuple.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise MLError(f"test_size must be in (0, 1), got {test_size}")
+    n = X.shape[0]
+    if y.shape[0] != n:
+        raise MLError("X and y differ in sample count")
+    rng = ensure_rng(random_state)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_size)))
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    result = [X[train_idx], X[test_idx], y[train_idx], y[test_idx]]
+    for extra in extras:
+        extra = np.asarray(extra)
+        if extra.shape[0] != n:
+            raise MLError("extras must align with X")
+        result.extend([extra[train_idx], extra[test_idx]])
+    return tuple(result)
+
+
+class KFold:
+    """K-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 10, *, shuffle: bool = True,
+                 random_state=None) -> None:
+        if n_splits < 2:
+            raise MLError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise MLError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            ensure_rng(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        current = 0
+        for size in fold_sizes:
+            test = indices[current:current + size]
+            train = np.concatenate(
+                [indices[:current], indices[current + size:]]
+            )
+            current += size
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv: KFold | int = 5,
+    scoring: Callable | None = None,
+) -> np.ndarray:
+    """Scores of ``estimator`` over cross-validation folds.
+
+    ``scoring(y_true, y_pred)`` defaults to negative MAE so that greater
+    is always better (grid search maximizes).
+    """
+    from repro.ml.metrics import mean_absolute_error
+
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if isinstance(cv, int):
+        cv = KFold(cv, shuffle=True, random_state=0)
+    if scoring is None:
+        def scoring(y_true, y_pred):
+            return -mean_absolute_error(y_true, y_pred)
+    scores = []
+    for train_idx, test_idx in cv.split(X):
+        model = estimator.clone_unfitted()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scoring(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores, dtype=np.float64)
+
+
+@dataclass
+class GridSearchResult:
+    """One parameter combination's cross-validation outcome."""
+
+    params: dict
+    mean_score: float
+    std_score: float
+    fold_scores: list[float] = field(default_factory=list)
+
+
+class GridSearchCV:
+    """Exhaustive hyperparameter search with k-fold cross-validation."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, Sequence],
+        *,
+        cv: KFold | int = 10,
+        scoring: Callable | None = None,
+        refit: bool = True,
+    ) -> None:
+        if not param_grid:
+            raise MLError("param_grid must contain at least one parameter")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.refit = refit
+
+    def _combinations(self) -> Iterator[dict]:
+        keys = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, values))
+
+    def fit(self, X, y) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.results_: list[GridSearchResult] = []
+        best: GridSearchResult | None = None
+        for params in self._combinations():
+            candidate = self.estimator.clone_unfitted().set_params(**params)
+            scores = cross_val_score(
+                candidate, X, y, cv=self.cv, scoring=self.scoring
+            )
+            result = GridSearchResult(
+                params=params,
+                mean_score=float(scores.mean()),
+                std_score=float(scores.std()),
+                fold_scores=[float(s) for s in scores],
+            )
+            self.results_.append(result)
+            if best is None or result.mean_score > best.mean_score:
+                best = result
+        assert best is not None
+        self.best_params_ = best.params
+        self.best_score_ = best.mean_score
+        if self.refit:
+            self.best_estimator_ = (
+                self.estimator.clone_unfitted().set_params(**best.params)
+            )
+            self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not hasattr(self, "best_estimator_"):
+            raise MLError("GridSearchCV must be fitted (with refit=True)")
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,50 @@
+"""Feature preprocessing: standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean / unit-variance feature scaling.
+
+    Constant features scale to zero (their variance floor keeps the
+    transform finite), which also neutralizes dead one-hot columns.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std < 1e-12] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler fitted on "
+                f"{self.n_features_in_}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        return X * self.scale_ + self.mean_

@@ -1,0 +1,23 @@
+"""Model training/evaluation (Table IV), prediction phase and resolution."""
+
+from repro.predict.evaluate import (
+    TABLE4_TARGETS,
+    TABLE4_MODELS,
+    ScaledModel,
+    ModelEvaluation,
+    Table4Results,
+    evaluate_models,
+)
+from repro.predict.predictor import (
+    SourceRegionPrediction,
+    DesignPrediction,
+    CongestionPredictor,
+)
+from repro.predict.resolve import Resolution, suggest_resolutions
+
+__all__ = [
+    "TABLE4_TARGETS", "TABLE4_MODELS", "ScaledModel", "ModelEvaluation",
+    "Table4Results", "evaluate_models",
+    "SourceRegionPrediction", "DesignPrediction", "CongestionPredictor",
+    "Resolution", "suggest_resolutions",
+]

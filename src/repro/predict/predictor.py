@@ -1,0 +1,156 @@
+"""The prediction phase: trained models applied to new designs.
+
+"With the trained model, the highly congested regions in the source code
+of the target design can be detected during the prediction phase and
+users can resolve congestion issues in the HLS flow without running the
+time-consuming RTL implementation flow."
+
+``CongestionPredictor.predict_design`` therefore consumes only HLS-level
+artifacts (module, schedule, binding, reports, dependency graph) — no
+placement or routing is required at prediction time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.build import CongestionDataset
+from repro.errors import MLError
+from repro.features.extract import FeatureExtractor
+from repro.fpga.device import Device, xc7z020
+from repro.graph.depgraph import build_dependency_graph
+from repro.hls.synthesis import HLSResult, synthesize
+from repro.kernels.common import KernelDesign
+from repro.ml.gbrt import GradientBoostingRegressor
+from repro.ml.metrics import mean_absolute_error
+from repro.predict.evaluate import ScaledModel, _model_factories
+
+
+@dataclass
+class SourceRegionPrediction:
+    """Predicted congestion of one source location."""
+
+    source_file: str
+    source_line: int
+    vertical: float
+    horizontal: float
+    n_ops: int
+
+    @property
+    def average(self) -> float:
+        return 0.5 * (self.vertical + self.horizontal)
+
+
+@dataclass
+class DesignPrediction:
+    """Per-node predictions plus source-level aggregation."""
+
+    node_ids: list[int]
+    vertical: np.ndarray
+    horizontal: np.ndarray
+    regions: list[SourceRegionPrediction] = field(default_factory=list)
+    inference_seconds: float = 0.0
+
+    def hottest_regions(self, n: int = 5) -> list[SourceRegionPrediction]:
+        return sorted(self.regions, key=lambda r: -r.average)[:n]
+
+
+class CongestionPredictor:
+    """Vertical + horizontal congestion regressors behind one facade."""
+
+    def __init__(self, model: str = "gbrt", device: Device | None = None):
+        factories = _model_factories()
+        if model not in factories:
+            raise MLError(f"unknown model family {model!r}")
+        self.model_name = model
+        self.device = device or xc7z020()
+        self._models: dict[str, ScaledModel] = {}
+        self._factory = factories[model]
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: CongestionDataset, *, filter_marginal: bool = True
+            ) -> "CongestionPredictor":
+        """Train one regressor per congestion direction."""
+        data = dataset.filter_marginal()[0] if filter_marginal else dataset
+        for target in ("vertical", "horizontal"):
+            model = ScaledModel(
+                self._factory(), with_scaler=self.model_name != "gbrt"
+            )
+            model.fit(data.X, data.target(target))
+            self._models[target] = model
+        self.n_training_samples_ = data.n_samples
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._models:
+            raise MLError("CongestionPredictor must be fitted first")
+
+    # ------------------------------------------------------------------
+    def predict_matrix(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self._check_fitted()
+        return (
+            self._models["vertical"].predict(X),
+            self._models["horizontal"].predict(X),
+        )
+
+    def score(self, dataset: CongestionDataset) -> dict[str, float]:
+        """MAE per direction on a labelled dataset."""
+        v, h = self.predict_matrix(dataset.X)
+        return {
+            "vertical_mae": mean_absolute_error(dataset.y_vertical, v),
+            "horizontal_mae": mean_absolute_error(dataset.y_horizontal, h),
+        }
+
+    # ------------------------------------------------------------------
+    def predict_design(
+        self,
+        design: KernelDesign,
+        *,
+        hls: HLSResult | None = None,
+    ) -> DesignPrediction:
+        """Predict per-operation congestion from HLS artifacts only."""
+        self._check_fitted()
+        start = time.perf_counter()
+        if hls is None:
+            hls = synthesize(design.module, design.directives)
+        graph = build_dependency_graph(design.module, hls.bindings)
+        extractor = FeatureExtractor(hls, graph, self.device)
+        nodes, X = extractor.extract_all()
+        v, h = self.predict_matrix(X)
+
+        by_region: dict[tuple[str, int], list[int]] = {}
+        for i, node_id in enumerate(nodes):
+            info = graph.info(node_id)
+            op = design.module.find_op(info.op_uids[0])
+            by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
+        regions = [
+            SourceRegionPrediction(
+                source_file=file,
+                source_line=line,
+                vertical=float(v[idx].max()),
+                horizontal=float(h[idx].max()),
+                n_ops=len(idx),
+            )
+            for (file, line), idx_list in by_region.items()
+            for idx in [np.asarray(idx_list)]
+        ]
+        return DesignPrediction(
+            node_ids=nodes,
+            vertical=v,
+            horizontal=h,
+            regions=regions,
+            inference_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_importances_(self) -> np.ndarray | None:
+        """Vertical-model importances (GBRT split counts), if available."""
+        self._check_fitted()
+        estimator = self._models["vertical"].estimator
+        if isinstance(estimator, GradientBoostingRegressor):
+            return estimator.feature_importances_
+        return getattr(estimator, "feature_importances_", None)

@@ -1,0 +1,57 @@
+"""Tiny keyed cache used to share expensive artifacts across benchmarks.
+
+Building the full dataset (six kernels through HLS + place + route) and
+training three model families is by far the most expensive part of the
+reproduction; several tables reuse those artifacts.  ``KeyedCache`` is a
+process-lifetime memo keyed by hashable tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+
+class KeyedCache:
+    """A dict-backed memo with a ``get_or_build`` convenience."""
+
+    def __init__(self) -> None:
+        self._store: dict[Hashable, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], object]):
+        """Return the cached value for ``key``, building it on first use."""
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        value = builder()
+        self._store[key] = value
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._store[key] = value
+
+    def get(self, key: Hashable, default=None):
+        return self._store.get(key, default)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL_STORES: dict[str, KeyedCache] = {}
+
+
+def cached_property_store(name: str) -> KeyedCache:
+    """Return (creating on demand) a process-wide named :class:`KeyedCache`."""
+    if name not in _GLOBAL_STORES:
+        _GLOBAL_STORES[name] = KeyedCache()
+    return _GLOBAL_STORES[name]

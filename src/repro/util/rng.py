@@ -1,0 +1,43 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components of the library (placement annealing, ML model
+initialisation, dataset splitting) accept a ``random_state`` argument that
+may be ``None``, an ``int`` seed or a ``numpy.random.Generator``.  This
+module centralises the conversion so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(random_state=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int seed or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Children are derived through ``spawn`` so that parallel consumers do not
+    share streams; the parent generator remains usable.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    return [np.random.default_rng(seed) for seed in rng.bit_generator.seed_seq.spawn(n)]

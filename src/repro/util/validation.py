@@ -1,0 +1,51 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_positive(value, name: str):
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value, name: str):
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(value, low, high, name: str, *, inclusive: bool = True):
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_type(value, types, name: str):
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_one_of(value, allowed: Iterable, name: str):
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.backtrace import Backtracer
+from repro.errors import BacktraceError
+from repro.fpga import small_test_device
+from repro.hls import synthesize
+from repro.impl import PlacementOptions, pack_netlist, place_netlist, route_design
+from repro.rtl import generate_netlist
+from tests.conftest import build_tiny_module
+
+
+@pytest.fixture
+def traced():
+    module = build_tiny_module()
+    hls = synthesize(module)
+    nl = generate_netlist(hls)
+    dev = small_test_device()
+    pk = pack_netlist(nl, dev)
+    pl = place_netlist(nl, pk, dev, PlacementOptions(seed=0))
+    cm = route_design(nl, pk, pl, dev)
+    tracer = Backtracer(module, nl, pk, pl, cm)
+    return module, tracer, tracer.label_operations(), cm
+
+
+def test_every_op_gets_labeled(traced):
+    module, tracer, result, cm = traced
+    labeled = set(result.by_op)
+    all_uids = {op.uid for op in module.iter_all_ops()}
+    assert labeled == all_uids
+
+
+def test_labels_in_congestion_range(traced):
+    module, tracer, result, cm = traced
+    hi_v = cm.vertical.max() + 1
+    hi_h = cm.horizontal.max() + 1
+    for label in result.labels:
+        assert 0 <= label.vertical <= hi_v
+        assert 0 <= label.horizontal <= hi_h
+        assert label.average == pytest.approx(
+            0.5 * (label.vertical + label.horizontal)
+        )
+
+
+def test_callee_ops_have_one_label_per_instance(traced):
+    module, tracer, result, cm = traced
+    square = module.functions["square"]
+    mul = square.ops_of("mul")[0]
+    labels = result.by_op[mul.uid]
+    assert len(labels) == 1  # one call site -> one instance
+    assert labels[0].instance.startswith("top/square")
+
+
+def test_label_of_rejects_multi_instance():
+    module = build_tiny_module()
+    from repro.hls import DirectiveSet
+
+    hls = synthesize(module, DirectiveSet("u").unroll("top", "L", 3))
+    nl = generate_netlist(hls)
+    dev = small_test_device()
+    pk = pack_netlist(nl, dev)
+    pl = place_netlist(nl, pk, dev, PlacementOptions(seed=0))
+    cm = route_design(nl, pk, pl, dev)
+    result = Backtracer(module, nl, pk, pl, cm).label_operations()
+    square = module.functions["square"]
+    mul = square.ops_of("mul")[0]
+    assert len(result.by_op[mul.uid]) == 3
+    with pytest.raises(BacktraceError):
+        result.label_of(mul.uid)
+
+
+def test_forward_trace_tile_to_ops(traced):
+    module, tracer, result, cm = traced
+    label = result.labels[0]
+    x, y = label.tiles[0]
+    ops = tracer.ops_in_tile(x, y)
+    assert any(op.uid == label.op_uid for op in ops)
+
+
+def test_hottest_tiles_sorted(traced):
+    module, tracer, result, cm = traced
+    top3 = tracer.hottest_tiles(3)
+    values = [v for _, _, v in top3]
+    assert values == sorted(values, reverse=True)
+    with pytest.raises(BacktraceError):
+        tracer.hottest_tiles(3, metric="bogus")
+
+
+def test_congestion_by_source_line(traced):
+    module, tracer, result, cm = traced
+    by_line = tracer.congestion_by_source_line(result)
+    assert by_line
+    for (file, line), entry in by_line.items():
+        assert file == "tiny.cpp"
+        assert entry["samples"] >= 1
+        assert entry["average"] <= max(
+            entry["vertical"], entry["horizontal"]
+        ) + 1e-9
+
+
+def test_window_smoothing_reduces_extremes(traced):
+    module, tracer, result, cm = traced
+    sharp = tracer.label_operations(window_radius=0)
+    smooth = tracer.label_operations(window_radius=3)
+    max_sharp = max(l.vertical for l in sharp.labels)
+    max_smooth = max(l.vertical for l in smooth.labels)
+    assert max_smooth <= max_sharp + 1e-9

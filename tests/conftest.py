@@ -1,0 +1,85 @@
+"""Shared fixtures: tiny designs and flow results reused across tests.
+
+Expensive artifacts (flow runs, the miniature dataset) are session-scoped;
+tests must not mutate them.
+"""
+
+import pytest
+
+from repro.flow import FlowOptions, run_flow
+from repro.fpga import small_test_device, xc7z020
+from repro.hls import synthesize
+from repro.ir import Function, I16, IRBuilder, IntType, Module
+from repro.rtl import generate_netlist
+
+
+def build_tiny_module():
+    """A small but non-trivial design: loop, memory, call, reduction."""
+    m = Module("tiny")
+    g = Function("square")
+    m.add_function(g)
+    gb = IRBuilder(g, "tiny.cpp")
+    a = gb.arg("a", I16)
+    s = gb.mul(a, a, width=16)
+    gb.ret(s, line=3)
+
+    f = Function("top", is_top=True)
+    m.add_function(f)
+    b = IRBuilder(f, "tiny.cpp")
+    x = b.arg("x", I16)
+    y = b.arg("y", I16)
+    b.array("buf", I16, (32,), partition=2)
+    xv = b.read_port(x, line=8)
+    with b.loop("L", trip_count=6, line=10):
+        v = b.load("buf", [b.const(1)], line=11)
+        sq = b.call("square", [v], I16, line=12).result
+        acc = b.emit(
+            "add", [sq, b.const(0, IntType(16))], IntType(16),
+            attrs={"reduce": True, "acc_index": 1}, line=13,
+        ).result
+        b.store("buf", acc, [b.const(2)], line=14)
+    b.write_port(y, xv, line=16)
+    return m
+
+
+@pytest.fixture
+def tiny_module():
+    return build_tiny_module()
+
+
+@pytest.fixture
+def tiny_hls():
+    return synthesize(build_tiny_module())
+
+
+@pytest.fixture
+def tiny_netlist(tiny_hls):
+    return generate_netlist(tiny_hls)
+
+
+@pytest.fixture(scope="session")
+def small_device():
+    return small_test_device()
+
+
+@pytest.fixture(scope="session")
+def session_device():
+    return xc7z020()
+
+
+@pytest.fixture(scope="session")
+def small_flow_options():
+    return FlowOptions(scale=0.18, placement_effort="fast", seed=0)
+
+
+@pytest.fixture(scope="session")
+def facedet_flow(small_flow_options):
+    """One cached small face-detection flow run (baseline variant)."""
+    return run_flow("face_detection", "baseline", options=small_flow_options)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_flow_options):
+    from repro.dataset import build_paper_dataset
+
+    return build_paper_dataset(options=small_flow_options)

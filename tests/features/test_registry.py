@@ -1,0 +1,74 @@
+import pytest
+
+from repro.errors import FeatureError
+from repro.features import (
+    FEATURES,
+    FeatureCategory,
+    N_FEATURES,
+    category_counts,
+    category_indices,
+    feature_index,
+    feature_names,
+    features_in_category,
+)
+
+
+def test_total_is_exactly_302():
+    """The paper's Table II contract: 302 features."""
+    assert N_FEATURES == 302
+    assert len(FEATURES) == 302
+
+
+def test_seven_categories_with_paper_structure():
+    counts = category_counts()
+    assert len(counts) == 7
+    assert counts[FeatureCategory.BITWIDTH] == 1
+    assert counts[FeatureCategory.INTERCONNECTION] == 18
+    assert counts[FeatureCategory.RESOURCE] == 76
+    assert counts[FeatureCategory.TIMING] == 2
+    assert counts[FeatureCategory.RESOURCE_DT] == 48
+    assert counts[FeatureCategory.OPTYPE] == 112
+    assert counts[FeatureCategory.GLOBAL] == 45
+    assert sum(counts.values()) == 302
+
+
+def test_names_unique_and_indexed():
+    names = feature_names()
+    assert len(set(names)) == 302
+    for i, name in enumerate(names):
+        assert feature_index(name) == i
+        assert FEATURES[i].index == i
+
+
+def test_unknown_feature_raises():
+    with pytest.raises(FeatureError):
+        feature_index("not_a_feature")
+
+
+def test_category_indices_partition_the_vector():
+    indices = category_indices()
+    flat = sorted(i for idx in indices.values() for i in idx)
+    assert flat == list(range(302))
+
+
+def test_features_in_category_consistent():
+    for category in FeatureCategory:
+        specs = features_in_category(category)
+        assert all(s.category is category for s in specs)
+        assert len(specs) == category_counts()[category]
+
+
+def test_resource_features_cover_all_kinds():
+    names = feature_names()
+    for kind in ("lut", "ff", "dsp", "bram"):
+        assert f"res_{kind}_usage" in names
+        assert f"rdt_{kind}_1hop_pred_usage_dt" in names
+
+
+def test_optype_features_cover_vocabulary():
+    from repro.ir.opcodes import opcode_names
+
+    names = set(feature_names())
+    for opcode in opcode_names():
+        assert f"optype_is_{opcode}" in names
+        assert f"optype_neigh_{opcode}" in names

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.flow import FlowOptions, run_flow
+from repro.util.cache import cached_property_store
+
+
+def test_flow_result_summary(facedet_flow):
+    summary = facedet_flow.summary()
+    assert summary["variant"] == "baseline"
+    assert summary["ops"] > 50
+    assert summary["latency_cycles"] > 0
+    assert summary["max_v_congestion"] >= 0
+    assert summary["n_samples"] > 0
+    assert summary["flow_seconds"] > 0
+
+
+def test_flow_stage_accounting(facedet_flow):
+    stages = facedet_flow.stage_seconds
+    assert set(stages) >= {
+        "hls", "rtl", "pack", "place", "route", "sta", "graph", "backtrace",
+    }
+    assert all(t >= 0 for t in stages.values())
+
+
+def test_flow_artifacts_consistent(facedet_flow):
+    r = facedet_flow
+    assert r.hls.module is r.design.module
+    assert r.congestion.device is r.device
+    # every labeled op exists in the module
+    for uid in r.labels.by_op:
+        r.design.module.find_op(uid)
+
+
+def test_flow_cache_returns_same_object(small_flow_options):
+    a = run_flow("face_detection", "baseline", options=small_flow_options)
+    b = run_flow("face_detection", "baseline", options=small_flow_options)
+    assert a is b
+
+
+def test_flow_cache_key_differs_by_variant(small_flow_options):
+    a = run_flow("face_detection", "baseline", options=small_flow_options)
+    b = run_flow("face_detection", "no_directives",
+                 options=small_flow_options)
+    assert a is not b
+    assert b.design.variant == "no_directives"
+
+
+def test_directives_increase_congestion_small_scale(small_flow_options):
+    base = run_flow("face_detection", "baseline", options=small_flow_options)
+    plain = run_flow("face_detection", "no_directives",
+                     options=small_flow_options)
+    assert base.hls.latency_cycles < plain.hls.latency_cycles
+    assert (
+        base.congestion.v_demand.sum() > plain.congestion.v_demand.sum()
+    )
+
+
+def test_backtracer_property(facedet_flow):
+    tracer = facedet_flow.backtracer
+    hottest = tracer.hottest_tiles(3)
+    assert len(hottest) == 3

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.errors import DeviceError
+from repro.fpga import Device, TileType, small_test_device, xc7z020
+
+
+def test_xc7z020_totals_order_of_magnitude():
+    dev = xc7z020()
+    totals = dev.totals()
+    assert 30_000 <= totals["LUT"] <= 60_000
+    assert totals["FF"] == 2 * totals["LUT"]
+    assert 150 <= totals["DSP"] <= 260
+    assert 200 <= totals["BRAM"] <= 320
+
+
+def test_column_structure():
+    dev = xc7z020()
+    kinds = {t for t in dev.column_types}
+    assert kinds == {TileType.CLB, TileType.DSP, TileType.BRAM}
+
+
+def test_capacity_per_tile_kind():
+    dev = small_test_device()
+    clb_x = dev.column_types.index(TileType.CLB)
+    dsp_x = dev.column_types.index(TileType.DSP)
+    cap = dev.capacity(clb_x, 0)
+    assert cap.lut == 8 and cap.ff == 16 and cap.dsp == 0
+    assert dev.capacity(dsp_x, 0).dsp == 1
+    assert dev.capacity(dsp_x, 1).dsp == 0  # sites every 2 rows
+
+
+def test_coordinates_validation():
+    dev = small_test_device()
+    with pytest.raises(DeviceError):
+        dev.tile_type(-1, 0)
+    with pytest.raises(DeviceError):
+        dev.capacity(0, dev.n_rows)
+    assert dev.contains(0, 0)
+    assert not dev.contains(dev.n_cols, 0)
+
+
+def test_sites_enumeration_consistent_with_totals():
+    dev = small_test_device()
+    totals = dev.totals()
+    assert len(dev.clb_sites()) * 8 == totals["LUT"]
+    assert len(dev.dsp_sites()) == totals["DSP"]
+    assert len(dev.bram_sites()) * 2 == totals["BRAM"]
+
+
+def test_is_margin_ring():
+    dev = xc7z020()
+    assert dev.is_margin(0, 0)
+    assert dev.is_margin(dev.n_cols - 1, dev.n_rows // 2)
+    assert not dev.is_margin(dev.n_cols // 2, dev.n_rows // 2)
+
+
+def test_device_scale_parameter():
+    small = xc7z020(scale=0.25)
+    assert small.n_cols < xc7z020().n_cols
+    with pytest.raises(DeviceError):
+        xc7z020(scale=0)
+
+
+def test_device_rejects_mismatched_columns():
+    with pytest.raises(DeviceError):
+        Device("bad", n_cols=4, n_rows=4, column_types=[TileType.CLB])

@@ -1,0 +1,156 @@
+import pytest
+
+from repro.errors import DirectiveError, HLSError
+from repro.hls import DirectiveSet, apply_directives, inline_functions, unroll_loop
+from repro.ir import (
+    Function,
+    I16,
+    I32,
+    IRBuilder,
+    IntType,
+    Module,
+    verify_module,
+)
+
+
+def module_with_callee():
+    m = Module("m")
+    g = Function("leaf")
+    m.add_function(g)
+    gb = IRBuilder(g, "t.cpp")
+    a = gb.arg("a", I16)
+    bq = gb.arg("b", I16)
+    s = gb.mul(a, bq, line=3)
+    gb.ret(s, line=4)
+
+    f = Function("top", is_top=True)
+    m.add_function(f)
+    b = IRBuilder(f, "t.cpp")
+    x = b.arg("x", I16)
+    b.array("buf", I16, (32,))
+    with b.loop("L", trip_count=8, line=10):
+        v = b.load("buf", [b.const(2)], line=11)
+        c = b.call("leaf", [v, x], I16, line=12).result
+        acc = b.emit(
+            "add", [c, b.const(0, IntType(16))], IntType(16),
+            attrs={"reduce": True, "acc_index": 1}, line=13,
+        ).result
+        b.store("buf", acc, [b.const(3)], line=14)
+    b.write_port(x, x)
+    return m, f, g
+
+
+def test_directive_validation_errors():
+    m, f, g = module_with_callee()
+    with pytest.raises(DirectiveError):
+        DirectiveSet().inline("missing").validate(m)
+    with pytest.raises(DirectiveError):
+        DirectiveSet().unroll("top", "missing", 2).validate(m)
+    with pytest.raises(DirectiveError):
+        DirectiveSet().partition("top", "missing", 2).validate(m)
+    with pytest.raises(DirectiveError):
+        DirectiveSet().inline("top").validate(m)  # cannot inline top
+
+
+def test_directive_set_builders_and_without_inlines():
+    d = DirectiveSet("x").inline("f").unroll("f", "l", 4).pipeline("f", "l")
+    d.partition("f", "a", 2)
+    assert d.n_directives() == 4
+    stripped = d.without_inlines()
+    assert not stripped.inlines
+    assert stripped.n_directives() == 3
+    assert not DirectiveSet().is_empty() is False or DirectiveSet().is_empty()
+
+
+def test_inline_splices_body_and_removes_call():
+    m, f, g = module_with_callee()
+    added = inline_functions(m, {"leaf"})
+    assert added == 1  # mul only; ret dissolves
+    verify_module(m)
+    assert not f.ops_of("call")
+    assert "leaf" not in m.functions
+    inlined = [op for op in f.operations if op.attrs.get("inlined_from") == "leaf"]
+    assert len(inlined) == 1
+    assert inlined[0].opcode == "mul"
+    # the inlined op joined the surrounding loop
+    assert inlined[0].uid in f.loops["L"].op_uids
+
+
+def test_inline_keeps_callee_source_locations():
+    m, f, g = module_with_callee()
+    inline_functions(m, {"leaf"})
+    mul = next(op for op in f.operations if op.opcode == "mul")
+    assert mul.loc.line == 3  # callee line, not call-site line
+
+
+def test_unroll_replicates_and_groups():
+    m, f, g = module_with_callee()
+    inline_functions(m, {"leaf"})
+    body_size = len(f.loops["L"].op_uids)
+    added = unroll_loop(f, "L", 4)
+    verify_module(m)
+    assert added == body_size * 3
+    groups = {}
+    for op in f.operations:
+        grp = op.attrs.get("unroll_group")
+        if grp:
+            groups.setdefault(grp, []).append(op.attrs["replica_index"])
+    assert groups
+    for replicas in groups.values():
+        assert sorted(replicas) == [0, 1, 2, 3]
+    assert f.loops["L"].trip_count == 2
+
+
+def test_unroll_chains_reductions_and_redirects_consumer():
+    m, f, g = module_with_callee()
+    inline_functions(m, {"leaf"})
+    acc_ops = [op for op in f.operations if op.attrs.get("reduce")]
+    assert len(acc_ops) == 1
+    unroll_loop(f, "L", 0)  # complete
+    verify_module(m)
+    chain = [op for op in f.operations if op.attrs.get("reduce")]
+    assert len(chain) == 8
+    # replica r consumes replica r-1's value
+    for prev, cur in zip(chain, chain[1:]):
+        assert prev.result in cur.operands
+    assert f.loops["L"].trip_count == 1
+
+
+def test_unroll_shifts_constant_memory_indices():
+    m, f, g = module_with_callee()
+    unroll_loop(f, "L", 2)
+    loads = f.ops_of("load")
+    indices = sorted(op.operands[0].constant for op in loads)
+    assert indices == [2, 3]
+
+
+def test_apply_directives_full_stack():
+    m, f, g = module_with_callee()
+    d = DirectiveSet("opt").inline("leaf").unroll("top", "L", 2)
+    d.partition("top", "buf", 4).pipeline("top", "L", 1)
+    summary = apply_directives(m, d)
+    verify_module(m)
+    assert summary["inlined_ops"] == 1
+    assert summary["unrolled_ops"] > 0
+    assert f.arrays["buf"].partition == 4
+    assert f.loops["L"].pipelined
+
+
+def test_recursive_inline_cycle_detected():
+    m = Module("m")
+    a = Function("a")
+    b_f = Function("b")
+    m.add_function(a)
+    m.add_function(b_f)
+    top = Function("top", is_top=True)
+    m.add_function(top)
+    ab = IRBuilder(a)
+    x = ab.arg("x", I16)
+    ab.call("b", [x], I16)
+    ab.ret(x)
+    bb = IRBuilder(b_f)
+    y = bb.arg("y", I16)
+    bb.call("a", [y], I16)
+    bb.ret(y)
+    with pytest.raises(HLSError, match="recursive"):
+        inline_functions(m, {"a", "b"})

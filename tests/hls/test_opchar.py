@@ -1,0 +1,92 @@
+import pytest
+
+from repro.errors import HLSError
+from repro.hls.opchar import (
+    DEFAULT_LIBRARY,
+    DSP_MUL_THRESHOLD,
+    OperatorLibrary,
+    RESOURCE_KINDS,
+)
+from repro.ir import Function, I16, I32, IRBuilder, Module
+from repro.ir.opcodes import opcode_names
+
+
+def test_every_opcode_characterizes_at_common_widths():
+    lib = OperatorLibrary()
+    for name in opcode_names():
+        for width in (1, 8, 16, 32):
+            spec = lib.characterize(name, width)
+            assert spec.delay_ns >= 0
+            assert spec.latency_cycles >= 0
+            assert min(spec.lut, spec.ff, spec.dsp, spec.bram) >= 0
+
+
+def test_mul_dsp_threshold():
+    lib = OperatorLibrary()
+    assert lib.characterize("mul", DSP_MUL_THRESHOLD).dsp == 0
+    assert lib.characterize("mul", DSP_MUL_THRESHOLD + 1).dsp >= 1
+
+
+def test_wider_adders_cost_more():
+    lib = OperatorLibrary()
+    a8 = lib.characterize("add", 8)
+    a32 = lib.characterize("add", 32)
+    assert a32.lut > a8.lut
+    assert a32.delay_ns > a8.delay_ns
+
+
+def test_divider_is_multicycle():
+    spec = DEFAULT_LIBRARY.characterize("sdiv", 16)
+    assert spec.latency_cycles >= 2
+
+
+def test_mul_much_slower_than_add():
+    lib = OperatorLibrary()
+    assert lib.characterize("mul", 16).delay_ns > lib.characterize("add", 16).delay_ns
+
+
+def test_constant_shift_is_free():
+    m = Module("m")
+    f = Function("f", is_top=True)
+    m.add_function(f)
+    b = IRBuilder(f)
+    x = b.arg("x", I16)
+    const_shift = b.shl(x, b.const(3))
+    var_shift = b.shl(x, x)
+    assert DEFAULT_LIBRARY.spec_for(const_shift.producer).lut == 0
+    assert DEFAULT_LIBRARY.spec_for(var_shift.producer).lut > 0
+
+
+def test_scaling_factors():
+    scaled = OperatorLibrary(delay_scale=2.0, resource_scale=2.0)
+    base = DEFAULT_LIBRARY.characterize("add", 16)
+    big = scaled.characterize("add", 16)
+    assert big.delay_ns == pytest.approx(2 * base.delay_ns)
+    assert big.lut == 2 * base.lut
+
+
+def test_library_rejects_bad_inputs():
+    with pytest.raises(HLSError):
+        OperatorLibrary(delay_scale=0)
+    with pytest.raises(HLSError):
+        DEFAULT_LIBRARY.characterize("nope", 8)
+    with pytest.raises(HLSError):
+        DEFAULT_LIBRARY.characterize("add", -1)
+
+
+def test_mux_spec_grows_with_inputs_and_width():
+    lib = OperatorLibrary()
+    small = lib.mux_spec(2, 8)
+    big = lib.mux_spec(16, 8)
+    wide = lib.mux_spec(2, 32)
+    assert big.lut > small.lut
+    assert wide.lut > small.lut
+    assert big.delay_ns > small.delay_ns
+    with pytest.raises(HLSError):
+        lib.mux_spec(1, 8)
+
+
+def test_resources_dict_keys_match_kinds():
+    spec = DEFAULT_LIBRARY.characterize("fadd", 32)
+    assert tuple(spec.resources()) == RESOURCE_KINDS
+    assert spec.resource("DSP") == spec.dsp

@@ -1,0 +1,142 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ImplementationError
+from repro.fpga import small_test_device, xc7z020
+from repro.impl import (
+    Packer,
+    PlacementOptions,
+    pack_netlist,
+    place_netlist,
+)
+from repro.rtl import Netlist
+
+
+def toy_netlist(n_fu=12, lut_each=6, with_dsp=True):
+    nl = Netlist("toy")
+    cells = [
+        nl.add_cell(f"c{i}", "fu", lut=lut_each, ff=lut_each,
+                    instance="top")
+        for i in range(n_fu)
+    ]
+    if with_dsp:
+        nl.add_cell("dspcell", "fu", dsp=2, instance="top")
+    nl.add_cell("io", "port")
+    for i in range(n_fu - 1):
+        nl.add_net(f"n{i}", cells[i].cell_id, [cells[i + 1].cell_id], 8)
+    return nl
+
+
+def test_packing_respects_tile_capacity():
+    dev = small_test_device()
+    packing = pack_netlist(toy_netlist(), dev)
+    for cluster in packing.clusters:
+        assert cluster.lut <= dev.clb_lut
+        assert cluster.ff <= dev.clb_ff
+
+
+def test_packing_splits_large_cells():
+    dev = small_test_device()
+    nl = Netlist("big")
+    nl.add_cell("huge", "fu", lut=50, ff=10)
+    packing = pack_netlist(nl, dev)
+    cids = packing.clusters_of_cell[0]
+    assert len(cids) >= 7  # ceil(50/8) tiles
+    assert packing.primary_cluster[0] == cids[0]
+
+
+def test_packing_dsp_and_bram_clusters():
+    dev = small_test_device()
+    nl = Netlist("d")
+    nl.add_cell("d2", "fu", dsp=3)
+    nl.add_cell("m", "mem", bram18=2)
+    packing = pack_netlist(nl, dev)
+    summary = packing.demand_summary()
+    assert summary["dsp"] == 3
+    assert summary["bram"] == 2
+
+
+def test_packing_overflow_detected():
+    dev = small_test_device()
+    nl = Netlist("huge")
+    total_luts = dev.totals()["LUT"]
+    nl.add_cell("giant", "fu", lut=total_luts + 100)
+    with pytest.raises(ImplementationError, match="CLB tiles"):
+        pack_netlist(nl, dev)
+
+
+def test_placement_assigns_every_cluster_to_valid_site():
+    dev = small_test_device()
+    nl = toy_netlist()
+    packing = pack_netlist(nl, dev)
+    placement = place_netlist(nl, packing, dev,
+                              PlacementOptions(effort="fast", seed=1))
+    assert len(placement.positions) == packing.n_clusters()
+    for cluster in packing.clusters:
+        x, y = placement.positions[cluster.cluster_id]
+        assert dev.contains(x, y)
+        if cluster.kind == "dsp":
+            assert dev.capacity(x, y).dsp >= 1
+        elif cluster.kind == "bram":
+            assert dev.capacity(x, y).bram18 >= 1
+
+
+def test_placement_no_two_clusters_share_clb_site():
+    dev = small_test_device()
+    nl = toy_netlist(n_fu=20)
+    packing = pack_netlist(nl, dev)
+    placement = place_netlist(nl, packing, dev, PlacementOptions(seed=0))
+    clb_positions = [
+        placement.positions[c.cluster_id]
+        for c in packing.clusters if c.kind == "clb"
+        and c.cluster_id not in packing.port_cluster.values()
+    ]
+    assert len(clb_positions) == len(set(clb_positions))
+
+
+def test_annealing_does_not_worsen_cost():
+    dev = small_test_device()
+    nl = toy_netlist(n_fu=24)
+    packing = pack_netlist(nl, dev)
+    placement = place_netlist(nl, packing, dev,
+                              PlacementOptions(effort="normal", seed=3))
+    assert placement.cost <= placement.initial_cost + 1e-6
+    assert placement.n_moves > 0
+
+
+def test_placement_deterministic_per_seed():
+    dev = small_test_device()
+    nl = toy_netlist(n_fu=16)
+    packing = pack_netlist(nl, dev)
+    p1 = place_netlist(nl, packing, dev, PlacementOptions(seed=7))
+    p2 = place_netlist(nl, packing, dev, PlacementOptions(seed=7))
+    assert p1.positions == p2.positions
+
+
+def test_tiles_of_cell_covers_all_fragments():
+    dev = small_test_device()
+    nl = Netlist("frag")
+    nl.add_cell("wide", "fu", lut=30)
+    packing = pack_netlist(nl, dev)
+    placement = place_netlist(nl, packing, dev, PlacementOptions(seed=0))
+    tiles = placement.tiles_of_cell(packing, 0)
+    assert len(tiles) == len(packing.clusters_of_cell[0])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_cells=st.integers(2, 30),
+    lut=st.integers(0, 20),
+    ff=st.integers(0, 40),
+)
+def test_packing_conserves_resources(n_cells, lut, ff):
+    """Property: packed LUT/FF totals equal the netlist's demands."""
+    if lut == 0 and ff == 0:
+        lut = 1
+    dev = xc7z020(scale=0.5)
+    nl = Netlist("prop")
+    for i in range(n_cells):
+        nl.add_cell(f"c{i}", "fu", lut=lut, ff=ff, instance=f"i{i % 3}")
+    packing = Packer(dev).pack(nl)
+    assert sum(c.lut for c in packing.clusters) == n_cells * lut
+    assert sum(c.ff for c in packing.clusters) == n_cells * ff

@@ -1,0 +1,165 @@
+import pytest
+
+from repro.errors import IRError, VerificationError
+from repro.ir import (
+    ArrayDecl,
+    ArrayType,
+    Function,
+    I16,
+    I32,
+    IRBuilder,
+    Loop,
+    Module,
+    bitwidth_reduction,
+    constant_fold,
+    dead_code_elimination,
+    run_default_pipeline,
+    verify_function,
+    verify_module,
+)
+
+
+def small_module():
+    m = Module("m")
+    f = Function("top", is_top=True)
+    m.add_function(f)
+    b = IRBuilder(f, "t.cpp")
+    return m, f, b
+
+
+def test_module_top_management():
+    m = Module("m")
+    with pytest.raises(IRError):
+        m.top
+    f = Function("a", is_top=True)
+    m.add_function(f)
+    assert m.top is f
+    g = Function("b")
+    m.add_function(g)
+    m.set_top("b")
+    assert m.top is g and not f.is_top
+
+
+def test_module_rejects_second_top():
+    m = Module("m")
+    m.add_function(Function("a", is_top=True))
+    with pytest.raises(IRError):
+        m.add_function(Function("b", is_top=True))
+
+
+def test_module_find_op():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    assert m.find_op(s.producer.uid) is s.producer
+    with pytest.raises(IRError):
+        m.find_op(10**9)
+
+
+def test_function_duplicate_array_rejected():
+    _, f, b = small_module()
+    b.array("a", I16, (4,))
+    with pytest.raises(IRError):
+        f.declare_array(ArrayDecl("a", ArrayType(I16, (4,))))
+
+
+def test_array_decl_partition_geometry():
+    decl = ArrayDecl("a", ArrayType(I16, (64,)), partition=4)
+    assert decl.banks == 4
+    assert decl.words == 16
+    assert decl.bits == 16
+    assert decl.primitives == 16 * 16 * 4
+    full = ArrayDecl("b", ArrayType(I16, (8,)), partition=8)
+    assert full.is_registers
+
+
+def test_loop_requires_positive_trip():
+    with pytest.raises(IRError):
+        Loop("l", trip_count=0)
+
+
+def test_verify_catches_dataflow_order_violation():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    p = b.mul(s, s)
+    # swap to break producer-before-consumer order
+    f.operations.reverse()
+    with pytest.raises(VerificationError, match="dataflow order"):
+        verify_function(f)
+
+
+def test_verify_catches_stale_loop_membership():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    with b.loop("l", trip_count=2):
+        s = b.add(x, x)
+    f.loops["l"].op_uids.add(987654)
+    with pytest.raises(VerificationError, match="removed operations"):
+        verify_function(f)
+
+
+def test_verify_module_checks_call_targets():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    b.call("ghost", [x], I32)
+    with pytest.raises(VerificationError):
+        verify_module(m)
+
+
+def test_dce_removes_unused_chain():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    b.mul(s, s)  # unused chain
+    used = b.add(x, x)
+    b.write_port(x, used)
+    stats = dead_code_elimination(f)
+    assert stats.removed == 2
+    verify_function(f)
+    assert all(op.opcode != "mul" for op in f.operations)
+
+
+def test_dce_keeps_side_effects():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    b.array("a", I16, (4,))
+    b.store("a", x, [x])
+    stats = dead_code_elimination(f)
+    assert stats.removed == 0
+
+
+def test_constant_fold_folds_and_rewires():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    c = b.add(b.const(3), b.const(4))
+    out = b.add(c, x, width=16)
+    b.write_port(x, out)
+    stats = constant_fold(f)
+    assert stats.folded == 1
+    folded_operand = out.producer.operands[0]
+    assert folded_operand.is_constant and folded_operand.constant == 7
+    verify_function(f)
+
+
+def test_bitwidth_reduction_narrows_add():
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    wide = b.add(x, x, width=32)  # 16+16 needs only 17 bits
+    b.write_port(x, wide)
+    stats = bitwidth_reduction(f)
+    assert stats.narrowed == 1
+    assert wide.type.width == 17
+
+
+def test_default_pipeline_runs_all(tmp_path):
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    c = b.add(b.const(1), b.const(2))
+    y = b.add(c, x, width=32)
+    b.write_port(x, y)
+    b.mul(x, x)  # dead
+    stats = run_default_pipeline(m)
+    assert stats.folded >= 1
+    assert stats.removed >= 1
+    verify_module(m)

@@ -1,0 +1,48 @@
+from repro.ir.opcodes import (
+    OPCODES,
+    OpClass,
+    VOCABULARY_SIZE,
+    is_opcode,
+    opcode_index,
+    opcode_info,
+    opcode_names,
+)
+
+
+def test_vocabulary_size_is_56():
+    """The Table II feature total (302) depends on exactly 56 opcodes."""
+    assert VOCABULARY_SIZE == 56
+    assert len(OPCODES) == 56
+
+
+def test_opcode_names_unique():
+    names = opcode_names()
+    assert len(set(names)) == len(names)
+
+
+def test_opcode_index_matches_order():
+    for i, name in enumerate(opcode_names()):
+        assert opcode_index(name) == i
+
+
+def test_opcode_info_lookup():
+    info = opcode_info("add")
+    assert info.opclass is OpClass.ARITH
+    assert info.n_operands == 2
+    assert info.has_result
+    assert info.commutative
+
+
+def test_void_opcodes_have_no_result():
+    for name in ("store", "br", "ret", "write_port", "switch"):
+        assert not opcode_info(name).has_result
+
+
+def test_is_opcode():
+    assert is_opcode("mul")
+    assert not is_opcode("frobnicate")
+
+
+def test_every_opclass_is_used():
+    used = {info.opclass for info in OPCODES}
+    assert used == set(OpClass)

@@ -1,0 +1,170 @@
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Constant,
+    Function,
+    I8,
+    I16,
+    I32,
+    IRBuilder,
+    Module,
+    Operation,
+    SourceLocation,
+    Value,
+    int_type,
+)
+
+
+def make_builder():
+    func = Function("f", is_top=True)
+    module = Module("m")
+    module.add_function(func)
+    return module, func, IRBuilder(func, "test.cpp")
+
+
+def test_operation_def_use_wiring():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    y = b.arg("y", I16)
+    s = b.add(x, y)
+    assert s.producer.opcode == "add"
+    assert s.producer in x.users and s.producer in y.users
+    p = b.mul(s, s)
+    assert p.producer in s.users
+    assert s.users.count(p.producer) == 2  # both operand slots
+
+
+def test_operation_rejects_unknown_opcode():
+    with pytest.raises(IRError):
+        Operation("bogus", [], I32)
+
+
+def test_operation_rejects_wrong_arity():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    with pytest.raises(IRError):
+        Operation("add", [x], I32)
+
+
+def test_result_type_consistency():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    with pytest.raises(IRError):
+        Operation("store", [x], I32)  # store returns nothing
+
+
+def test_bitwidth_of_op_and_void_op():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    s = b.add(x, x, width=24)
+    assert s.producer.bitwidth() == 24
+    b.array("a", I16, (8,))
+    st = b.store("a", s, [x])
+    assert st.bitwidth() == 24  # widest operand
+
+
+def test_predecessors_successors_dedup():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    p = b.mul(s, s)
+    assert p.producer.predecessors() == [s.producer]
+    assert s.producer.successors() == [p.producer]
+
+
+def test_builder_source_locations():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    b.at(41)
+    s = b.add(x, x)
+    assert s.producer.loc == SourceLocation("test.cpp", 41)
+    b.next_line(2)
+    t = b.add(s, s)
+    assert t.producer.loc.line == 43
+
+
+def test_builder_loop_membership_nested():
+    _, func, b = make_builder()
+    x = b.arg("x", I16)
+    with b.loop("outer", trip_count=4):
+        a = b.add(x, x)
+        with b.loop("inner", trip_count=2):
+            c = b.mul(a, a)
+    outer, inner = func.loops["outer"], func.loops["inner"]
+    assert a.producer.uid in outer.op_uids
+    assert c.producer.uid in outer.op_uids and c.producer.uid in inner.op_uids
+    assert inner.parent == "outer"
+    assert inner.depth == 1
+
+
+def test_builder_trunc_rejects_widening():
+    _, _, b = make_builder()
+    x = b.arg("x", I8)
+    with pytest.raises(IRError):
+        b.trunc(x, 16)
+
+
+def test_builder_load_store_attrs():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    b.array("buf", I16, (32,))
+    v = b.load("buf", [x])
+    assert v.producer.attrs["array"] == "buf"
+    st = b.store("buf", v, [x])
+    assert st.attrs["array"] == "buf"
+    with pytest.raises(IRError):
+        b.load("missing", [x])
+
+
+def test_builder_ports():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    v = b.read_port(x)
+    assert v.producer.attrs["port"] == "x"
+    free = Value(I16, "free")
+    with pytest.raises(IRError):
+        b.read_port(free)
+
+
+def test_replace_operand_updates_users():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    y = b.arg("y", I16)
+    s = b.add(x, x)
+    op = s.producer
+    count = op.replace_operand(x, y)
+    assert count == 2
+    assert op not in x.users
+    assert y.users.count(op) == 2
+
+
+def test_detach_refuses_with_live_users():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    b.mul(s, s)
+    with pytest.raises(IRError):
+        s.producer.detach()
+
+
+def test_constant_requires_value():
+    with pytest.raises(IRError):
+        Constant(I32, None)
+
+
+def test_builder_and_or_helpers():
+    _, _, b = make_builder()
+    x = b.arg("x", I16)
+    assert b.and_(x, x).producer.opcode == "and"
+    assert b.or_(x, x).producer.opcode == "or"
+    assert b.not_(x).producer.opcode == "not"
+
+
+def test_unique_names():
+    _, func, b = make_builder()
+    x = b.arg("x", I16)
+    b.add(x, x)
+    b.add(x, x)
+    names = [op.name for op in func.operations]
+    assert len(set(names)) == len(names)

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import (
+    ArrayType,
+    BOOL,
+    F32,
+    FloatType,
+    I16,
+    I32,
+    IntType,
+    VOID,
+    common_width,
+    int_type,
+)
+
+
+def test_int_type_properties():
+    t = IntType(12, signed=False)
+    assert t.bitwidth() == 12
+    assert not t.is_float and not t.is_array and not t.is_void
+    assert str(t) == "u12"
+    assert str(I32) == "i32"
+
+
+def test_int_type_rejects_bad_widths():
+    with pytest.raises(IRError):
+        IntType(0)
+    with pytest.raises(IRError):
+        IntType(5000)
+
+
+def test_float_type_widths():
+    assert FloatType(32).bitwidth() == 32
+    assert F32.is_float
+    with pytest.raises(IRError):
+        FloatType(24)
+
+
+def test_void_type():
+    assert VOID.is_void
+    assert VOID.bitwidth() == 0
+
+
+def test_array_type_geometry():
+    arr = ArrayType(I16, (4, 8))
+    assert arr.length == 32
+    assert arr.bitwidth() == 16
+    assert arr.is_array
+    assert str(arr) == "[4x8 x i16]"
+
+
+def test_array_type_rejects_nested_and_empty():
+    with pytest.raises(IRError):
+        ArrayType(ArrayType(I16, (2,)), (2,))
+    with pytest.raises(IRError):
+        ArrayType(I16, ())
+    with pytest.raises(IRError):
+        ArrayType(I16, (0,))
+
+
+def test_common_width_promotion():
+    assert common_width(I16, I32) == 32
+    assert common_width(BOOL, I16) == 16
+    assert common_width(VOID) == 0
+
+
+def test_int_types_are_hashable_value_types():
+    assert int_type(8) == int_type(8)
+    assert len({int_type(8), int_type(8), int_type(9)}) == 2

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import LassoRegression, LinearRegression, r2_score
+
+
+def linear_data(n=200, p=6, noise=0.05, seed=0, sparse=False):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    w = np.zeros(p)
+    w[: (2 if sparse else p)] = rng.normal(size=2 if sparse else p) + 1.0
+    y = X @ w + 3.0 + rng.normal(scale=noise, size=n)
+    return X, y, w
+
+
+def test_ols_recovers_coefficients():
+    X, y, w = linear_data()
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, w, atol=0.05)
+    assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+    assert r2_score(y, model.predict(X)) > 0.99
+
+
+def test_ols_without_intercept():
+    X, y, w = linear_data(noise=0.0)
+    model = LinearRegression(fit_intercept=False).fit(X, y - 3.0)
+    assert np.allclose(model.coef_, w, atol=1e-6)
+    assert model.intercept_ == 0.0
+
+
+def test_lasso_with_tiny_alpha_matches_ols():
+    X, y, w = linear_data(noise=0.01)
+    lasso = LassoRegression(alpha=1e-6, max_iter=800).fit(X, y)
+    ols = LinearRegression().fit(X, y)
+    assert np.allclose(lasso.coef_, ols.coef_, atol=0.02)
+
+
+def test_lasso_l1_drives_sparsity():
+    X, y, _ = linear_data(sparse=True, n=300)
+    weak = LassoRegression(alpha=0.01).fit(X, y)
+    strong = LassoRegression(alpha=5.0).fit(X, y)
+    assert strong.sparsity_ >= weak.sparsity_
+    assert strong.sparsity_ > 0.4
+
+
+def test_lasso_huge_alpha_predicts_mean():
+    X, y, _ = linear_data()
+    model = LassoRegression(alpha=1e6).fit(X, y)
+    assert np.allclose(model.coef_, 0.0)
+    assert model.intercept_ == pytest.approx(y.mean(), rel=1e-6)
+
+
+def test_lasso_rejects_negative_alpha():
+    X, y, _ = linear_data(n=20)
+    with pytest.raises(MLError):
+        LassoRegression(alpha=-1.0).fit(X, y)
+
+
+def test_unfitted_predict_raises():
+    with pytest.raises(NotFittedError):
+        LassoRegression().predict(np.ones((2, 3)))
+
+
+def test_predict_validates_width():
+    X, y, _ = linear_data(n=30, p=4)
+    model = LassoRegression(alpha=0.01).fit(X, y)
+    with pytest.raises(MLError):
+        model.predict(np.ones((2, 5)))
+
+
+def test_rejects_nan_inputs():
+    X = np.ones((10, 2))
+    X[0, 0] = np.nan
+    with pytest.raises(MLError):
+        LinearRegression().fit(X, np.ones(10))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(20, 80), st.integers(1, 6), st.floats(0.001, 2.0))
+def test_lasso_objective_never_worse_than_zero_model(n, p, alpha):
+    """Property: the fitted Lasso objective beats the all-zero model.
+
+    The solver optimizes over internally standardized features, so the
+    objective is evaluated in that space (penalty on standardized weights).
+    """
+    rng = np.random.default_rng(n + p)
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + rng.normal(scale=0.1, size=n)
+
+    x_std = X.std(axis=0)
+    x_std[x_std < 1e-12] = 1.0
+    Xs = (X - X.mean(axis=0)) / x_std
+    yc = y - y.mean()
+
+    def objective(w_std):
+        residual = yc - Xs @ w_std
+        return (residual ** 2).sum() / (2 * n) + alpha * np.abs(w_std).sum()
+
+    model = LassoRegression(alpha=alpha, max_iter=400).fit(X, y)
+    fitted = objective(model.coef_ * x_std)
+    zero = objective(np.zeros(p))
+    assert fitted <= zero + 1e-8

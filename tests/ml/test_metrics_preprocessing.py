@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import MLError
+from repro.ml import (
+    StandardScaler,
+    max_error,
+    mean_absolute_error,
+    mean_squared_error,
+    median_absolute_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+def test_mae_matches_definition():
+    y = np.array([1.0, 2.0, 3.0])
+    p = np.array([2.0, 2.0, 5.0])
+    assert mean_absolute_error(y, p) == pytest.approx(1.0)
+
+
+def test_medae_robust_to_outlier():
+    y = np.zeros(5)
+    p = np.array([1.0, 1.0, 1.0, 1.0, 100.0])
+    assert median_absolute_error(y, p) == pytest.approx(1.0)
+    assert mean_absolute_error(y, p) > 20
+
+
+def test_mse_rmse_max_error():
+    y = np.array([0.0, 0.0])
+    p = np.array([3.0, 4.0])
+    assert mean_squared_error(y, p) == pytest.approx(12.5)
+    assert root_mean_squared_error(y, p) == pytest.approx(np.sqrt(12.5))
+    assert max_error(y, p) == pytest.approx(4.0)
+
+
+def test_r2_perfect_and_mean_predictor():
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    assert r2_score(y, y) == pytest.approx(1.0)
+    assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+
+def test_metrics_validate_shapes():
+    with pytest.raises(MLError):
+        mean_absolute_error([1, 2], [1])
+    with pytest.raises(MLError):
+        median_absolute_error([], [])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.float64, st.integers(2, 40),
+               elements=st.floats(-1e6, 1e6)),
+)
+def test_mae_nonnegative_and_zero_iff_equal(y):
+    assert mean_absolute_error(y, y) == 0.0
+    shifted = y + 1.0
+    assert mean_absolute_error(y, shifted) == pytest.approx(1.0)
+
+
+def test_scaler_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    X = rng.normal(5, 3, size=(200, 4))
+    scaler = StandardScaler()
+    Z = scaler.fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+    assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+
+def test_scaler_constant_feature_safe():
+    X = np.ones((10, 2))
+    X[:, 1] = np.arange(10)
+    Z = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(Z))
+    assert np.allclose(Z[:, 0], 0)
+
+
+def test_scaler_inverse_roundtrip():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(50, 3))
+    scaler = StandardScaler().fit(X)
+    back = scaler.inverse_transform(scaler.transform(X))
+    assert np.allclose(back, X)
+
+
+def test_scaler_requires_fit_and_width_match():
+    scaler = StandardScaler()
+    with pytest.raises(Exception):
+        scaler.transform(np.ones((2, 2)))
+    scaler.fit(np.ones((4, 3)) * np.arange(3))
+    with pytest.raises(ValueError):
+        scaler.transform(np.ones((2, 2)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 30), st.integers(1, 8))
+def test_scaler_roundtrip_property(n, p):
+    rng = np.random.default_rng(n * 31 + p)
+    X = rng.normal(size=(n, p)) * rng.uniform(0.5, 10)
+    scaler = StandardScaler().fit(X)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                       atol=1e-8)

@@ -1,0 +1,40 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_flow(capsys):
+    code = main(["flow", "face_detection", "--scale", "0.18", "--map"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "face_detection [baseline]" in out
+    assert "latency_cycles" in out
+    assert "congestion map" in out
+
+
+def test_cli_dataset(capsys):
+    code = main(["dataset", "--scale", "0.18"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "samples" in out and "marginal filtered" in out
+
+
+def test_cli_predict(capsys):
+    code = main([
+        "predict", "face_detection", "--scale", "0.18", "--model", "linear",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "predicted congestion hotspots" in out
+
+
+def test_cli_rejects_unknown_design():
+    with pytest.raises(SystemExit):
+        main(["flow", "unknown_design"])

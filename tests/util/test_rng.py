@@ -1,0 +1,37 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rng
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).integers(0, 1000, size=5)
+    b = ensure_rng(42).integers(0, 1000, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough_generator():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_returns_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_rejects_bad_type():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+
+
+def test_spawn_rng_children_are_independent():
+    parent = ensure_rng(0)
+    children = spawn_rng(parent, 3)
+    assert len(children) == 3
+    draws = [c.integers(0, 10**9) for c in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_rng_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rng(ensure_rng(0), -1)

@@ -1,0 +1,77 @@
+import os
+
+import pytest
+
+from repro.util.tabulate import format_table, write_csv
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_one_of,
+    check_positive,
+    check_type,
+)
+from repro.util.cache import KeyedCache, cached_property_store
+
+
+def test_check_positive_accepts_and_rejects():
+    assert check_positive(3, "x") == 3
+    with pytest.raises(ValueError, match="x must be positive"):
+        check_positive(0, "x")
+
+
+def test_check_non_negative():
+    assert check_non_negative(0, "x") == 0
+    with pytest.raises(ValueError):
+        check_non_negative(-1, "x")
+
+
+def test_check_in_range_inclusive_and_exclusive():
+    assert check_in_range(5, 0, 5, "x") == 5
+    with pytest.raises(ValueError):
+        check_in_range(5, 0, 5, "x", inclusive=False)
+
+
+def test_check_type_message_names_expected():
+    with pytest.raises(TypeError, match="int"):
+        check_type("s", int, "x")
+
+
+def test_check_one_of():
+    assert check_one_of("a", ("a", "b"), "x") == "a"
+    with pytest.raises(ValueError):
+        check_one_of("c", ("a", "b"), "x")
+
+
+def test_format_table_aligns_and_floats():
+    text = format_table(["name", "v"], [["a", 1.234], ["bb", 10]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.23" in text
+    assert lines[1].startswith("-")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = os.path.join(tmp_path, "sub", "out.csv")
+    write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+    with open(path) as handle:
+        content = handle.read()
+    assert "a,b" in content and "3,4" in content
+
+
+def test_keyed_cache_hit_miss_accounting():
+    cache = KeyedCache()
+    assert cache.get_or_build("k", lambda: 41) == 41
+    assert cache.get_or_build("k", lambda: 99) == 41
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cached_property_store_is_singleton_per_name():
+    a = cached_property_store("test_store_xyz")
+    b = cached_property_store("test_store_xyz")
+    assert a is b
+    a.clear()
