@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test bench help
+
+help:
+	@echo "make verify  - tier-1 gate: full test + benchmark suite (-x -q)"
+	@echo "make test    - fast tier: unit/integration tests only"
+	@echo "make bench   - time flow stages, write benchmarks/out/BENCH_flow.json"
+
+verify:
+	$(PYTHON) -m pytest -x -q
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+bench:
+	$(PYTHON) benchmarks/perf/run_bench.py

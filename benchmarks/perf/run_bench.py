@@ -1,0 +1,176 @@
+"""Flow-stage perf harness: times the paper combos, writes BENCH_flow.json.
+
+Runs the complete C-to-FPGA flow cold (no caches) on the paper's three
+benchmark combinations and records per-stage wall clock, so every PR has
+a perf trajectory to compare against.  Not collected by pytest — run it
+directly (or via ``make bench``):
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --scale 0.5 --repeat 3
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --with-reference
+
+The JSON layout is::
+
+    {
+      "meta":   {"scale": 1.0, "seed": 0, "effort": "fast", ...},
+      "combos": {"face_detection": {"hls": ..., "place": ..., ...}, ...},
+      "totals": {"place": ..., "route": ..., "place+route": ..., "flow": ...}
+    }
+
+Stage timings are the best (minimum) of ``--repeat`` runs; the in-memory
+flow cache is cleared between runs so every run is cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+COMBOS = ("face_detection", "digit_spam", "bnn_render_flow")
+STAGES = ("hls", "rtl", "pack", "place", "route", "sta", "graph", "backtrace")
+
+
+def _reference_place_route(scale: float, seed: int, effort: str,
+                           repeat: int = 1) -> dict:
+    """Time the preserved loop implementations on the same combos
+    (minimum of ``repeat`` runs, like the main measurement)."""
+    import time as _time
+
+    from repro.fpga import xc7z020
+    from repro.hls import synthesize
+    from repro.impl import PlacementOptions, pack_netlist
+    from repro.impl._reference import ReferenceAnnealer, reference_route
+    from repro.kernels.combos import build_combined
+    from repro.rtl import generate_netlist
+
+    out: dict[str, dict[str, float]] = {}
+    for name in COMBOS:
+        design = build_combined(name, scale=scale)
+        hls = synthesize(design.module, design.directives)
+        netlist = generate_netlist(hls)
+        device = xc7z020()
+        packing = pack_netlist(netlist, device)
+        t_place = t_route = float("inf")
+        for _ in range(repeat):
+            start = _time.perf_counter()
+            placement = ReferenceAnnealer(
+                netlist, packing, device,
+                PlacementOptions(effort=effort, seed=seed),
+            ).place()
+            t_place = min(t_place, _time.perf_counter() - start)
+            start = _time.perf_counter()
+            reference_route(netlist, packing, placement, device)
+            t_route = min(t_route, _time.perf_counter() - start)
+        out[name] = {"place": round(t_place, 6), "route": round(t_route, 6)}
+    out["totals"] = {
+        "place": round(sum(c["place"] for n, c in out.items()
+                           if n != "totals"), 6),
+        "route": round(sum(c["route"] for n, c in out.items()
+                           if n != "totals"), 6),
+    }
+    out["totals"]["place+route"] = round(
+        out["totals"]["place"] + out["totals"]["route"], 6
+    )
+    return out
+
+
+def bench(scale: float, seed: int, effort: str, repeat: int,
+          with_reference: bool = False) -> dict:
+    from repro.flow import FlowOptions, run_flow
+    from repro.util.cache import cached_property_store
+
+    combos: dict[str, dict[str, float]] = {}
+    for name in COMBOS:
+        best: dict[str, float] = {}
+        for _ in range(repeat):
+            cached_property_store("flow_results").clear()
+            options = FlowOptions(
+                scale=scale, seed=seed, placement_effort=effort
+            )
+            result = run_flow(name, "baseline", options=options,
+                              use_cache=False)
+            for stage, seconds in result.stage_seconds.items():
+                if stage not in best or seconds < best[stage]:
+                    best[stage] = seconds
+        combos[name] = {s: round(best.get(s, 0.0), 6) for s in STAGES}
+
+    totals = {s: round(sum(c[s] for c in combos.values()), 6) for s in STAGES}
+    totals["place+route"] = round(totals["place"] + totals["route"], 6)
+    totals["flow"] = round(sum(totals[s] for s in STAGES), 6)
+    reference = (
+        _reference_place_route(scale, seed, effort, repeat)
+        if with_reference else None
+    )
+    if reference is not None:
+        ref_pr = reference["totals"]["place+route"]
+        if totals["place+route"] > 0:
+            reference["speedup_place+route"] = round(
+                ref_pr / totals["place+route"], 2
+            )
+    return {
+        "meta": {
+            "scale": scale,
+            "seed": seed,
+            "effort": effort,
+            "repeat": repeat,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "combos": combos,
+        "totals": totals,
+        **({"reference_loops": reference} if reference is not None else {}),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--effort", default="fast")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs per combo; the minimum per stage is kept")
+    parser.add_argument("--with-reference", action="store_true",
+                        help="also time the preserved loop place/route "
+                             "implementations and record the speedup")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), os.pardir, "out",
+                             "BENCH_flow.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+
+    report = bench(args.scale, args.seed, args.effort, args.repeat,
+                   with_reference=args.with_reference)
+    out = os.path.abspath(args.out)
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"wrote {out}")
+    for name, stages in report["combos"].items():
+        line = "  ".join(f"{s}={stages[s]:.3f}s" for s in
+                         ("hls", "place", "route", "backtrace"))
+        print(f"{name:18s} {line}")
+    totals = report["totals"]
+    print(f"totals: place+route={totals['place+route']:.3f}s "
+          f"flow={totals['flow']:.3f}s")
+    reference = report.get("reference_loops")
+    if reference:
+        print(f"loop reference place+route="
+              f"{reference['totals']['place+route']:.3f}s "
+              f"(speedup {reference['speedup_place+route']:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

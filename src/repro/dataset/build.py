@@ -17,12 +17,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import concurrent.futures
+import multiprocessing
+
 from repro.errors import DatasetError
 from repro.features.extract import FeatureExtractor
 from repro.features.registry import N_FEATURES
 from repro.flow.c_to_fpga import FlowOptions, FlowResult, run_flow
 from repro.kernels.combos import PAPER_COMBINATIONS
-from repro.util.cache import cached_property_store
+from repro.util.cache import cached_property_store, disk_cache_from_env
 
 
 @dataclass(frozen=True)
@@ -201,27 +204,69 @@ def dataset_from_flow(result: FlowResult) -> CongestionDataset:
     )
 
 
+def _combo_dataset_part(
+    combo: str, options: FlowOptions, use_cache: bool
+) -> CongestionDataset:
+    """One combo's labelled samples (top-level so worker processes can
+    import it)."""
+    result = run_flow(combo, "baseline", options=options, use_cache=use_cache)
+    return dataset_from_flow(result)
+
+
 def build_paper_dataset(
     *,
     scale: float = 1.0,
     options: FlowOptions | None = None,
     combos: tuple[str, ...] | None = None,
     use_cache: bool = True,
+    n_jobs: int = 1,
 ) -> CongestionDataset:
-    """Build the full dataset from the paper's benchmark combinations."""
+    """Build the full dataset from the paper's benchmark combinations.
+
+    ``n_jobs > 1`` fans the per-combo flows out over worker processes
+    (``concurrent.futures``); the assembled dataset is identical to the
+    serial build because every flow is seed-deterministic and parts are
+    concatenated in combo order.  With ``REPRO_CACHE_DIR`` set, workers
+    persist their flow results so nothing is ever implemented twice.
+    """
     options = options or FlowOptions(scale=scale)
     combos = combos or tuple(PAPER_COMBINATIONS)
     store = cached_property_store("datasets")
     key = ("paper_dataset", combos, options.cache_key("*", "baseline"))
 
     def build() -> CongestionDataset:
-        dataset: CongestionDataset | None = None
-        for combo in combos:
-            result = run_flow(combo, "baseline", options=options,
-                              use_cache=use_cache)
-            part = dataset_from_flow(result)
-            dataset = part if dataset is None else dataset.concat(part)
-        assert dataset is not None
+        disk = disk_cache_from_env() if use_cache else None
+        if disk is not None:
+            from repro.fpga.device import device_fingerprint, xc7z020
+
+            disk_key = ("dataset", *device_fingerprint(xc7z020()), *key)
+            hit = disk.get(disk_key)
+            if hit is not None:
+                return hit
+        if n_jobs > 1 and len(combos) > 1:
+            workers = min(n_jobs, len(combos))
+            mp_context = (
+                multiprocessing.get_context("fork")
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_context
+            ) as pool:
+                parts = list(pool.map(
+                    _combo_dataset_part, combos,
+                    [options] * len(combos), [use_cache] * len(combos),
+                ))
+        else:
+            parts = [
+                _combo_dataset_part(combo, options, use_cache)
+                for combo in combos
+            ]
+        dataset = parts[0]
+        for part in parts[1:]:
+            dataset = dataset.concat(part)
+        if disk is not None:
+            disk.put(disk_key, dataset)
         return dataset
 
     if not use_cache:

@@ -8,6 +8,9 @@ the hours-long PAR against minutes of HLS and instant model inference).
 
 Results are cached per (kernel, variant, scale, seed, effort) in a
 process-wide store because several tables reuse the same implementations.
+When the ``REPRO_CACHE_DIR`` environment variable names a directory,
+results are additionally persisted there (content-addressed pickles) so
+a fresh process rebuilds nothing that an earlier one already ran.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.backtrace.trace import BacktraceResult, Backtracer
-from repro.fpga.device import Device, xc7z020
+from repro.fpga.device import Device, device_fingerprint, xc7z020
 from repro.graph.depgraph import DependencyGraph, build_dependency_graph
 from repro.hls.scheduling import ClockConstraint
 from repro.hls.synthesis import HLSResult, synthesize
@@ -28,7 +31,7 @@ from repro.kernels.combos import build_combined, build_kernel
 from repro.kernels.common import KernelDesign
 from repro.rtl.generate import generate_netlist
 from repro.rtl.netlist import Netlist
-from repro.util.cache import cached_property_store
+from repro.util.cache import cached_property_store, disk_cache_from_env
 
 
 @dataclass
@@ -169,7 +172,7 @@ def run_flow(
     store = cached_property_store("flow_results")
     key = options.cache_key(name, variant)
 
-    def build_and_run() -> FlowResult:
+    def build() -> FlowResult:
         if combined:
             design = build_combined(name, scale=options.scale, variant=variant)
         else:
@@ -177,5 +180,23 @@ def run_flow(
         return run_flow_on_design(design, device, options)
 
     if not use_cache:
-        return build_and_run()
+        return build()
+
+    disk = disk_cache_from_env()
+
+    def build_and_run() -> FlowResult:
+        if disk is None:
+            return build()
+        # The fingerprint keys every device parameter the result
+        # depends on — recalibrating e.g. h_tracks must miss, not
+        # serve stale congestion from an earlier calibration.
+        dev = device or xc7z020()
+        disk_key = ("flow", combined, *device_fingerprint(dev), *key)
+        hit = disk.get(disk_key)
+        if hit is not None:
+            return hit
+        result = build()
+        disk.put(disk_key, result)
+        return result
+
     return store.get_or_build(key, build_and_run)

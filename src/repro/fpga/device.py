@@ -59,9 +59,11 @@ class Device:
     bram_rows_per_site: int = 2
     #: routing tracks per tile boundary (7-series INT tiles carry a few
     #: hundred wires per direction; horizontal is scarcer, matching the
-    #: paper's higher horizontal congestion)
+    #: paper's higher horizontal congestion).  Calibrated so the
+    #: reference-quality placements of the paper combos reproduce the
+    #: paper's congestion regime (horizontal peaks above 100%).
     v_tracks: int = 480
-    h_tracks: int = 420
+    h_tracks: int = 400
     _type_grid: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -114,20 +116,25 @@ class Device:
     # site enumeration
     # ------------------------------------------------------------------
     def sites(self, ttype: TileType) -> list[tuple[int, int]]:
-        """All (x, y) tiles offering at least one site of ``ttype``."""
-        result = []
-        for x in range(self.n_cols):
-            if self.column_types[x] is not ttype:
-                continue
-            for y in range(self.n_rows):
-                cap = self.capacity(x, y)
-                if ttype is TileType.CLB and cap.lut:
-                    result.append((x, y))
-                elif ttype is TileType.DSP and cap.dsp:
-                    result.append((x, y))
-                elif ttype is TileType.BRAM and cap.bram18:
-                    result.append((x, y))
-        return result
+        """All (x, y) tiles offering at least one site of ``ttype``.
+
+        Column-major, rows ascending — the enumeration order the placer
+        depends on.  Computed directly from the column layout instead of
+        querying ``capacity`` per tile (this sits on the placement hot
+        path).
+        """
+        if ttype is TileType.CLB:
+            step = 1
+        elif ttype is TileType.DSP:
+            step = self.dsp_rows_per_site
+        else:
+            step = self.bram_rows_per_site
+        return [
+            (x, y)
+            for x in range(self.n_cols)
+            if self.column_types[x] is ttype
+            for y in range(0, self.n_rows, step)
+        ]
 
     def clb_sites(self) -> list[tuple[int, int]]:
         return self.sites(TileType.CLB)
@@ -166,6 +173,22 @@ class Device:
         return (
             x < mx or x >= self.n_cols - mx or y < my or y >= self.n_rows - my
         )
+
+
+def device_fingerprint(device: Device) -> tuple:
+    """Every device parameter a flow result depends on.
+
+    Used to key cross-process caches: two devices with the same name
+    but different calibration (track counts, grid, column layout) must
+    never share cached flow artifacts.
+    """
+    return (
+        device.name, device.n_cols, device.n_rows,
+        tuple(t.value for t in device.column_types),
+        device.clb_lut, device.clb_ff,
+        device.dsp_rows_per_site, device.bram_rows_per_site,
+        device.v_tracks, device.h_tracks,
+    )
 
 
 def _build_columns(n_cols: int, dsp_cols: tuple[int, ...],

@@ -28,6 +28,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _op_counter = itertools.count()
 
 
+def reset_op_uids() -> None:
+    """Restart the global operation-uid counter.
+
+    Called at the start of every top-level kernel/combination build so
+    that a design's IR — and everything downstream of it: netlist,
+    placement, congestion labels — is bit-identical no matter how many
+    designs the process built before.  Without this, uid offsets leak
+    into set/dict iteration order and a design built second differs
+    subtly from the same design built first, which would break the
+    guarantee that parallel dataset builds equal serial ones.
+
+    Design builds are process-local and NOT thread-safe: resetting
+    while another build is mid-flight would hand out duplicate uids.
+    Parallelize builds across processes (``build_paper_dataset(
+    n_jobs=...)`` does), never across threads.
+    """
+    global _op_counter
+    _op_counter = itertools.count()
+
+
 @dataclass(frozen=True)
 class SourceLocation:
     """Position in the high-level source a piece of IR came from."""

@@ -16,6 +16,7 @@ from repro.hls.directives import DirectiveSet
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
 from repro.ir.module import Module
+from repro.ir.operation import reset_op_uids
 from repro.ir.types import I32
 from repro.kernels.common import KernelDesign
 from repro.kernels.face_detection import build_face_detection
@@ -50,6 +51,7 @@ def build_kernel(name: str, scale: float = 1.0,
         raise ReproError(
             f"unknown kernel {name!r}; known: {sorted(KERNEL_BUILDERS)}"
         )
+    reset_op_uids()
     return KERNEL_BUILDERS[name](scale=scale, variant=variant)
 
 
@@ -66,7 +68,10 @@ def build_combined(combo: str, scale: float = 1.0,
             f"{sorted(PAPER_COMBINATIONS)}"
         )
     members = PAPER_COMBINATIONS[combo]
-    designs = [build_kernel(name, scale=scale, variant=variant)
+    # One reset for the whole combination: member uids must stay unique
+    # within the merged module, so members must not reset individually.
+    reset_op_uids()
+    designs = [KERNEL_BUILDERS[name](scale=scale, variant=variant)
                for name in members]
     if len(designs) == 1:
         return designs[0]

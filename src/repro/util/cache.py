@@ -1,57 +1,232 @@
-"""Tiny keyed cache used to share expensive artifacts across benchmarks.
+"""Keyed caches shared by the flow, dataset and benchmark layers.
 
 Building the full dataset (six kernels through HLS + place + route) and
 training three model families is by far the most expensive part of the
-reproduction; several tables reuse those artifacts.  ``KeyedCache`` is a
-process-lifetime memo keyed by hashable tuples.
+reproduction; several tables reuse those artifacts.  Two tiers exist:
+
+* :class:`KeyedCache` — a thread-safe process-lifetime memo keyed by
+  hashable tuples, with hit/miss/size accounting for the perf harness.
+* :class:`DiskCache` — a content-addressed pickle store (key -> SHA-256
+  file) that lets ``run_flow`` results survive across processes.  It is
+  opt-in: set the ``REPRO_CACHE_DIR`` environment variable to a
+  directory and every cached flow/dataset build is persisted there and
+  reloaded by later processes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import sys
+import threading
 from typing import Callable, Hashable
+
+#: environment variable that switches the on-disk cache on
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: bump to invalidate every on-disk entry when artifact layouts change
+_DISK_FORMAT_VERSION = 1
 
 
 class KeyedCache:
-    """A dict-backed memo with a ``get_or_build`` convenience."""
+    """A dict-backed memo with a ``get_or_build`` convenience.
+
+    Safe to share across threads: lookups and builds are serialized
+    under one reentrant lock, so concurrent ``get_or_build`` calls for
+    the same key build the value exactly once.  Note the trade-off:
+    the build runs *inside* the lock, so concurrent builds of
+    different keys also serialize — cross-key parallelism belongs at
+    the process level (``build_paper_dataset(n_jobs=...)``), not in
+    threads sharing one store.
+    """
 
     def __init__(self) -> None:
         self._store: dict[Hashable, object] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def get_or_build(self, key: Hashable, builder: Callable[[], object]):
         """Return the cached value for ``key``, building it on first use."""
-        if key in self._store:
-            self.hits += 1
-            return self._store[key]
-        self.misses += 1
-        value = builder()
-        self._store[key] = value
-        return value
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            value = builder()
+            self._store[key] = value
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        self._store[key] = value
+        with self._lock:
+            self._store[key] = value
 
     def get(self, key: Hashable, default=None):
-        return self._store.get(key, default)
+        with self._lock:
+            return self._store.get(key, default)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (consumed by the perf harness)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._store),
+            }
+
+
+#: flow artifacts hold deeply recursive IR/graph structures; (un)pickling
+#: them runs in a dedicated thread with a large stack and recursion limit
+_PICKLE_STACK_BYTES = 256 * 1024 * 1024
+_PICKLE_RECURSION_LIMIT = 500_000
+#: serializes deep-stack pickling: the recursion limit is process-global,
+#: so concurrent toggling would race (one worker restoring the default
+#: limit mid-way through another's deep load)
+_PICKLE_LOCK = threading.Lock()
+
+
+def _run_with_deep_stack(fn: Callable[[], object]):
+    """Run ``fn`` on a thread with a large stack and recursion limit.
+
+    Full-scale :class:`FlowResult` graphs nest thousands of objects
+    deep, beyond both the default recursion limit and the default
+    thread stack — pickling them inline raises ``RecursionError`` (or
+    worse, overflows the C stack).
+    """
+    outcome: dict[str, object] = {}
+
+    def runner() -> None:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _PICKLE_RECURSION_LIMIT))
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # re-raised on the caller's thread
+            outcome["error"] = exc
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    with _PICKLE_LOCK:
+        old_stack = threading.stack_size(_PICKLE_STACK_BYTES)
+        try:
+            worker = threading.Thread(target=runner, name="diskcache-pickle")
+            worker.start()
+            worker.join()
+        finally:
+            threading.stack_size(old_stack)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+class DiskCache:
+    """Content-addressed pickle store keyed by hashed repr of the key.
+
+    Keys must be tuples of primitives with a stable ``repr`` (the same
+    keys :class:`KeyedCache` uses).  Writes are atomic (temp file +
+    ``os.replace``) so concurrent builder processes never observe a
+    torn entry; corrupt or unreadable entries degrade to a miss.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
 
+    def path_for(self, key: Hashable) -> str:
+        digest = hashlib.sha256(
+            f"v{_DISK_FORMAT_VERSION}:{key!r}".encode()
+        ).hexdigest()
+        return os.path.join(self.root, f"{digest}.pkl")
+
+    def get(self, key: Hashable, default=None):
+        path = self.path_for(key)
+
+        def load():
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+
+        try:
+            value = _run_with_deep_stack(load)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, RecursionError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        path = self.path_for(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+
+        def dump():
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+
+        try:
+            _run_with_deep_stack(dump)
+        except Exception:
+            # Persisting is best-effort; the in-memory result stands.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def __contains__(self, key: Hashable) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": sum(
+                1 for name in os.listdir(self.root) if name.endswith(".pkl")
+            ),
+        }
+
+
+_DISK_CACHES: dict[str, DiskCache] = {}
+_DISK_CACHES_LOCK = threading.Lock()
+
+
+def disk_cache_from_env() -> DiskCache | None:
+    """The :class:`DiskCache` named by ``REPRO_CACHE_DIR``, if set.
+
+    One instance per root path is kept for the process lifetime so
+    hit/miss stats accumulate and the directory is created once.
+    """
+    root = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not root:
+        return None
+    with _DISK_CACHES_LOCK:
+        if root not in _DISK_CACHES:
+            _DISK_CACHES[root] = DiskCache(root)
+        return _DISK_CACHES[root]
+
 
 _GLOBAL_STORES: dict[str, KeyedCache] = {}
+_GLOBAL_STORES_LOCK = threading.Lock()
 
 
 def cached_property_store(name: str) -> KeyedCache:
     """Return (creating on demand) a process-wide named :class:`KeyedCache`."""
-    if name not in _GLOBAL_STORES:
-        _GLOBAL_STORES[name] = KeyedCache()
-    return _GLOBAL_STORES[name]
+    with _GLOBAL_STORES_LOCK:
+        if name not in _GLOBAL_STORES:
+            _GLOBAL_STORES[name] = KeyedCache()
+        return _GLOBAL_STORES[name]

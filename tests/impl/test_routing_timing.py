@@ -119,6 +119,23 @@ def test_margin_center_stats_keys():
     }
 
 
+def test_margin_center_stats_empty_center_is_finite():
+    """A margin ring that swallows the whole die must not NaN out."""
+    import warnings
+
+    dev = small_test_device()
+    v = np.full(dev.shape, 50.0)
+    h = np.full(dev.shape, 30.0)
+    cm = CongestionMap(dev, v * dev.v_tracks / 100.0,
+                       h * dev.h_tracks / 100.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # RuntimeWarning -> failure
+        stats = cm.margin_center_stats(fraction=0.6)
+    assert all(np.isfinite(val) for val in stats.values())
+    assert stats["margin_mean_v"] == pytest.approx(50.0)
+    assert stats["center_mean_v"] == 0.0
+
+
 # ---------------------------------------------------------------------------
 # timing
 # ---------------------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""KeyedCache concurrency/stats and the on-disk DiskCache."""
+
+import concurrent.futures
+import os
+import pickle
+import threading
+
+from repro.util.cache import (
+    CACHE_DIR_ENV,
+    DiskCache,
+    KeyedCache,
+    disk_cache_from_env,
+)
+
+
+def test_keyed_cache_stats():
+    cache = KeyedCache()
+    cache.get_or_build("a", lambda: 1)
+    cache.get_or_build("a", lambda: 2)
+    cache.get_or_build("b", lambda: 3)
+    assert cache.stats() == {"hits": 1, "misses": 2, "size": 2}
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+def test_keyed_cache_builds_once_under_threads():
+    cache = KeyedCache()
+    builds = []
+    barrier = threading.Barrier(8)
+
+    def build():
+        builds.append(1)
+        return len(builds)
+
+    def worker():
+        barrier.wait()
+        return cache.get_or_build("shared", build)
+
+    with concurrent.futures.ThreadPoolExecutor(8) as pool:
+        values = [f.result() for f in
+                  [pool.submit(worker) for _ in range(8)]]
+    assert len(builds) == 1
+    assert set(values) == {1}
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 7
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    key = ("flow", "face_detection", 1.0, 0)
+    assert cache.get(key) is None
+    cache.put(key, {"cost": 42.0})
+    assert key in cache
+    assert cache.get(key) == {"cost": 42.0}
+    # a second instance (fresh process stand-in) sees the entry
+    again = DiskCache(str(tmp_path))
+    assert again.get(key) == {"cost": 42.0}
+    assert again.stats()["size"] == 1
+
+
+def test_disk_cache_distinct_keys_distinct_files(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put(("a", 1), "one")
+    cache.put(("a", 2), "two")
+    assert cache.get(("a", 1)) == "one"
+    assert cache.get(("a", 2)) == "two"
+    assert cache.stats()["size"] == 2
+
+
+def test_disk_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put(("k",), "value")
+    path = cache.path_for(("k",))
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.get(("k",), default="fallback") == "fallback"
+
+
+def test_disk_cache_from_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    assert disk_cache_from_env() is None
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    cache = disk_cache_from_env()
+    assert cache is not None
+    assert cache.root == str(tmp_path)
+
+
+def test_disk_cache_atomic_write_leaves_no_temp_files(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    for i in range(5):
+        cache.put(("k", i), list(range(i)))
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert leftovers == []
+
+
+def test_disk_cache_handles_deeply_nested_payloads(tmp_path):
+    """Full-scale FlowResults nest far past the default recursion
+    limit; pickling them must neither crash nor skip persistence."""
+    node = None
+    for i in range(50_000):
+        node = (i, node)
+    cache = DiskCache(str(tmp_path))
+    cache.put(("deep",), node)
+    assert ("deep",) in cache
+    out = cache.get(("deep",))
+    assert out[0] == 49_999
+    assert out[1][0] == 49_998
+
+
+def test_disk_cache_handles_numpy_payloads(tmp_path):
+    import numpy as np
+
+    cache = DiskCache(str(tmp_path))
+    cache.put(("arr",), np.arange(10.0))
+    out = cache.get(("arr",))
+    assert isinstance(out, np.ndarray)
+    assert out.sum() == 45.0
