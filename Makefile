@@ -1,12 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test bench help
+.PHONY: verify test lint bench bench-serve help
 
 help:
-	@echo "make verify  - tier-1 gate: full test + benchmark suite (-x -q)"
-	@echo "make test    - fast tier: unit/integration tests only"
-	@echo "make bench   - time flow stages, write benchmarks/out/BENCH_flow.json"
+	@echo "make verify      - tier-1 gate: full test + benchmark suite (-x -q)"
+	@echo "make test        - fast tier: unit/integration tests only"
+	@echo "make lint        - ruff check (syntax + pyflakes rules)"
+	@echo "make bench       - time flow stages, write benchmarks/out/BENCH_flow.json"
+	@echo "make bench-serve - serving bench, write benchmarks/out/BENCH_serve.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -14,5 +16,15 @@ verify:
 test:
 	$(PYTHON) -m pytest tests -x -q
 
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed — skipping (pip install ruff)"; \
+	fi
+
 bench:
 	$(PYTHON) benchmarks/perf/run_bench.py
+
+bench-serve:
+	$(PYTHON) benchmarks/perf/run_bench.py --serve

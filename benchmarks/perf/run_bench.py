@@ -78,6 +78,71 @@ def _reference_place_route(scale: float, seed: int, effort: str,
     return out
 
 
+def bench_serve(scale: float, seed: int, effort: str,
+                n_requests: int, model: str) -> dict:
+    """Serving-layer benchmark: cold train-and-save vs warm
+    registry-load, and single vs batched prediction throughput.
+
+    Runs against a throwaway registry root so results are always cold
+    on the first service and always a registry hit on the second.
+    """
+    import shutil
+    import tempfile
+
+    from repro.flow import FlowOptions
+    from repro.kernels import KERNEL_BUILDERS
+    from repro.serve import CongestionService, ModelRegistry, PredictRequest
+    from repro.serve.service import measure_serving
+
+    options = FlowOptions(scale=scale, seed=seed, placement_effort=effort)
+    root = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        cold_service = CongestionService(
+            model, options=options, registry=ModelRegistry(root)
+        )
+        start = time.perf_counter()
+        cold_source = cold_service.warm()
+        cold_seconds = time.perf_counter() - start
+
+        warm_service = CongestionService(
+            model, options=options, registry=ModelRegistry(root)
+        )
+        start = time.perf_counter()
+        warm_source = warm_service.warm()
+        warm_seconds = time.perf_counter() - start
+
+        designs = sorted(KERNEL_BUILDERS)
+        requests = [PredictRequest(designs[i % len(designs)])
+                    for i in range(n_requests)]
+        timing = measure_serving(warm_service, requests)
+        single_seconds = timing["single_seconds"]
+        batch_seconds = timing["batch_seconds"]
+        service_stats = warm_service.stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "model": model,
+        "n_requests": n_requests,
+        "cold_train_and_save": {
+            "source": cold_source, "seconds": round(cold_seconds, 6),
+        },
+        "warm_registry_load": {
+            "source": warm_source, "seconds": round(warm_seconds, 6),
+            "speedup_vs_cold": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+        },
+        "prediction_throughput": {
+            "single_seconds": round(single_seconds, 6),
+            "single_req_per_s": round(n_requests / single_seconds, 2),
+            "batched_seconds": round(batch_seconds, 6),
+            "batched_req_per_s": round(n_requests / batch_seconds, 2),
+            "batch_speedup": round(single_seconds / max(batch_seconds, 1e-9),
+                                   2),
+        },
+        "service_stats": service_stats,
+    }
+
+
 def bench(scale: float, seed: int, effort: str, repeat: int,
           with_reference: bool = False) -> dict:
     from repro.flow import FlowOptions, run_flow
@@ -137,19 +202,42 @@ def main(argv=None) -> int:
     parser.add_argument("--with-reference", action="store_true",
                         help="also time the preserved loop place/route "
                              "implementations and record the speedup")
-    parser.add_argument(
-        "--out",
-        default=os.path.join(os.path.dirname(__file__), os.pardir, "out",
-                             "BENCH_flow.json"),
-    )
+    parser.add_argument("--serve", action="store_true",
+                        help="benchmark the serving layer instead of the "
+                             "flow; writes BENCH_serve.json")
+    parser.add_argument("--requests", type=int, default=24,
+                        help="prediction requests for --serve")
+    parser.add_argument("--model", default="gbrt",
+                        choices=("linear", "ann", "gbrt"),
+                        help="model family for --serve")
+    parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
+    if args.out is None:
+        name = "BENCH_serve.json" if args.serve else "BENCH_flow.json"
+        args.out = os.path.join(os.path.dirname(__file__), os.pardir,
+                                "out", name)
 
-    report = bench(args.scale, args.seed, args.effort, args.repeat,
-                   with_reference=args.with_reference)
+    if args.serve:
+        meta = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "effort": args.effort,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        report = {
+            "meta": meta,
+            **bench_serve(args.scale, args.seed, args.effort,
+                          args.requests, args.model),
+        }
+    else:
+        report = bench(args.scale, args.seed, args.effort, args.repeat,
+                       with_reference=args.with_reference)
     out = os.path.abspath(args.out)
     os.makedirs(os.path.dirname(out), exist_ok=True)
     with open(out, "w") as fh:
@@ -157,6 +245,17 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"wrote {out}")
+    if args.serve:
+        cold = report["cold_train_and_save"]
+        warm = report["warm_registry_load"]
+        throughput = report["prediction_throughput"]
+        print(f"cold train-and-save: {cold['seconds']:.2f}s  "
+              f"warm registry load: {warm['seconds']:.3f}s "
+              f"({warm['speedup_vs_cold']}x)")
+        print(f"throughput: single {throughput['single_req_per_s']} req/s  "
+              f"batched {throughput['batched_req_per_s']} req/s "
+              f"({throughput['batch_speedup']}x)")
+        return 0
     for name, stages in report["combos"].items():
         line = "  ".join(f"{s}={stages[s]:.3f}s" for s in
                          ("hls", "place", "route", "backtrace"))

@@ -7,7 +7,7 @@ baseline on congested-CLB count while keeping latency within a few
 percent; every variant implements successfully on the device.
 """
 
-from benchmarks.conftest import PAPER, out_path
+from benchmarks.conftest import out_path
 from repro.util.tabulate import format_table, write_csv
 
 

@@ -1,23 +1,43 @@
 #!/usr/bin/env python
 """Quickstart: one design through the complete C-to-FPGA flow.
 
-Builds the Face Detection benchmark, runs HLS + place + route on the
-simulated Zynq fabric, prints the congestion picture, and walks the
-back-trace from the hottest tile to IR operations and source lines —
-the paper's Fig. 3 loop in a dozen lines.
+Builds the Face Detection benchmark, runs the stage pipeline (HLS +
+place + route on the simulated Zynq fabric) with per-stage timing,
+prints the congestion picture, and walks the back-trace from the hottest
+tile to IR operations and source lines — the paper's Fig. 3 loop.
+
+Also shows the two pipeline features new code should reach for: partial
+runs (``until=``) and the classic ``FlowResult`` built from a completed
+``FlowContext``.
 """
 
-from repro import run_flow
-from repro.flow import FlowOptions
+from repro.flow import FlowOptions, FlowPipeline, FlowResult
+from repro.kernels import build_combined
+
+OPTIONS = FlowOptions(scale=0.5, placement_effort="fast", seed=0)
 
 
 def main() -> None:
-    print("Running the complete C-to-FPGA flow on Face Detection...")
-    result = run_flow(
-        "face_detection", "baseline",
-        options=FlowOptions(scale=0.5, placement_effort="fast", seed=0),
-    )
+    pipeline = FlowPipeline.default()
 
+    # A partial run: HLS only — what a prediction service pays per
+    # request.  No packing, placement or routing executes.
+    hls_only = pipeline.run(
+        build_combined("face_detection", scale=OPTIONS.scale),
+        options=OPTIONS, until="hls",
+    )
+    print(f"HLS-only run: stages {list(hls_only.completed_stages)}, "
+          f"latency {hls_only.hls.latency_cycles} cycles")
+
+    print("\nRunning the complete pipeline on Face Detection...")
+    ctx = pipeline.run(
+        build_combined("face_detection", scale=OPTIONS.scale),
+        options=OPTIONS,
+    )
+    for record in ctx.records:
+        print(f"  {record.stage:10s} {record.seconds:7.3f}s")
+
+    result = FlowResult.from_context(ctx)
     summary = result.summary()
     print(f"\ndesign: {summary['name']} [{summary['variant']}]")
     print(f"  IR operations : {summary['ops']}")

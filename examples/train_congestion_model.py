@@ -3,7 +3,11 @@
 
 Reproduces the Table IV protocol end to end: build the dataset from the
 three benchmark combinations, filter marginal samples (Section III-C1),
-train Linear/ANN/GBRT and print MAE/MedAE per congestion direction.
+train Linear/ANN/GBRT and print MAE/MedAE per congestion direction —
+then serve predictions through the ``CongestionService``.  With
+``REPRO_CACHE_DIR`` set, the trained model is persisted to the model
+registry so the next run (or another process) loads it instead of
+retraining.
 
 Pass ``--fast`` to shrink the designs for a quick demo run.
 """
@@ -13,6 +17,7 @@ import sys
 from repro import build_paper_dataset
 from repro.flow import FlowOptions
 from repro.predict import evaluate_models
+from repro.serve import CongestionService, PredictRequest
 from repro.util.tabulate import format_table
 
 
@@ -38,6 +43,25 @@ def main() -> None:
     print(format_table(headers, rows, title="Congestion estimation results"))
     print(f"(train {results.n_train} / test {results.n_test} samples; "
           "paper Table IV reports GBRT 9.59/6.71 V, 14.54/10.05 H MAE/MedAE)")
+
+    print("\nServing predictions (train-or-load via the model registry)...")
+    service = CongestionService("gbrt", options=options)
+    source = service.warm()
+    print(f"  model ready from '{source}'"
+          + ("" if service.registry else
+             " (set REPRO_CACHE_DIR to persist it)"))
+    responses = service.predict_batch([
+        PredictRequest("face_detection", top=3),
+        PredictRequest("bnn", top=3),
+    ])
+    for response in responses:
+        print(f"  {response.request.design}: "
+              f"max V {response.predicted_max_vertical:.1f}% / "
+              f"H {response.predicted_max_horizontal:.1f}% over "
+              f"{response.n_operations} operations")
+        for region in response.regions:
+            print(f"    {region.source_file}:{region.source_line}  "
+                  f"V {region.vertical:.1f}%  H {region.horizontal:.1f}%")
 
 
 if __name__ == "__main__":

@@ -23,10 +23,26 @@ Predict congestion for a new design without place-and-route::
     design = build_face_detection(variant="baseline")
     prediction = predictor.predict_design(design)
     print(prediction.hottest_regions())
+
+Serve many predictions from a persistent model (train once, then every
+process loads from the registry under ``REPRO_CACHE_DIR``)::
+
+    from repro import CongestionService, PredictRequest
+    service = CongestionService("gbrt")
+    responses = service.predict_batch(
+        [PredictRequest("face_detection"), PredictRequest("bnn")]
+    )
 """
 
 from repro.errors import ReproError
-from repro.flow import FlowOptions, FlowResult, run_flow, run_flow_on_design
+from repro.flow import (
+    FlowContext,
+    FlowOptions,
+    FlowPipeline,
+    FlowResult,
+    run_flow,
+    run_flow_on_design,
+)
 from repro.dataset import CongestionDataset, build_paper_dataset
 from repro.predict import (
     CongestionPredictor,
@@ -46,12 +62,21 @@ from repro.kernels import (
 )
 from repro.features import N_FEATURES, FeatureCategory, feature_names
 from repro.fpga import xc7z020
+from repro.serve import (
+    CongestionService,
+    ModelRegistry,
+    PredictRequest,
+    PredictResponse,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
-    "FlowOptions", "FlowResult", "run_flow", "run_flow_on_design",
+    "FlowContext", "FlowOptions", "FlowPipeline", "FlowResult",
+    "run_flow", "run_flow_on_design",
+    "CongestionService", "ModelRegistry", "PredictRequest",
+    "PredictResponse",
     "CongestionDataset", "build_paper_dataset",
     "CongestionPredictor", "evaluate_models", "suggest_resolutions",
     "build_face_detection", "build_digit_recognition", "build_spam_filter",

@@ -2,21 +2,44 @@
 
 Commands
 --------
-flow      run one C-to-FPGA flow and print the implementation summary
-dataset   build the paper's dataset and print its statistics
-train     run the Table IV evaluation protocol
-predict   train GBRT and print predicted hotspots for a design variant
+flow        run one C-to-FPGA flow (optionally ``--until <stage>``)
+dataset     build the paper's dataset and print its statistics
+train       run the Table IV evaluation protocol
+predict     train GBRT and print predicted hotspots for a design variant
+serve-demo  train-or-load via the model registry, answer a request
+            batch, print latency percentiles and cache statistics
+
+All commands accept ``--cache-dir DIR`` (persist flow results, datasets
+and trained models across processes) and ``--jobs N`` (parallel dataset
+builds).  Failures exit non-zero with the error on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from repro.dataset import build_paper_dataset
-from repro.flow import FlowOptions, run_flow
-from repro.kernels import KERNEL_BUILDERS, PAPER_COMBINATIONS, build_kernel
+from repro.errors import ReproError
+from repro.flow import (
+    STAGE_ORDER,
+    FlowOptions,
+    FlowPipeline,
+    design_cache_token,
+    run_flow,
+)
+from repro.kernels import (
+    KERNEL_BUILDERS,
+    PAPER_COMBINATIONS,
+    build_combined,
+    build_kernel,
+)
 from repro.predict import CongestionPredictor, evaluate_models, suggest_resolutions
+from repro.serve import CongestionService, PredictRequest
+from repro.serve.service import measure_serving
+from repro.util.cache import CACHE_DIR_ENV
 from repro.util.tabulate import format_table
 
 
@@ -27,6 +50,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--effort", default="fast",
                         choices=("fast", "normal", "high"),
                         help="placement effort")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for dataset builds")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"persist artifacts under DIR (sets "
+                             f"{CACHE_DIR_ENV})")
 
 
 def _options(args) -> FlowOptions:
@@ -35,7 +63,37 @@ def _options(args) -> FlowOptions:
 
 
 def cmd_flow(args) -> int:
-    result = run_flow(args.design, args.variant, options=_options(args))
+    combined = args.design in PAPER_COMBINATIONS
+    if args.until is not None:
+        if combined:
+            design = build_combined(args.design, scale=args.scale,
+                                    variant=args.variant)
+        else:
+            design = build_kernel(args.design, scale=args.scale,
+                                  variant=args.variant)
+        ctx = FlowPipeline.default().run(
+            design, options=_options(args), until=args.until,
+            cache_token=design_cache_token(args.design, args.variant,
+                                           args.scale, combined),
+            persist=True,
+        )
+        rows = [[r.stage, round(r.seconds, 4), "hit" if r.cached else "run"]
+                for r in ctx.records]
+        print(format_table(
+            ["stage", "seconds", "cache"], rows,
+            title=f"{args.design} [{args.variant}] until={args.until}",
+        ))
+        skipped = [s for s in STAGE_ORDER if s not in ctx.completed_stages]
+        print(f"skipped stages: {', '.join(skipped) or '(none)'}")
+        if args.map:
+            if ctx.congestion is not None:
+                print(ctx.congestion.render_ascii("average"))
+            else:
+                print("note: --map needs the route stage; add "
+                      "--until route (or later)", file=sys.stderr)
+        return 0
+    result = run_flow(args.design, args.variant, options=_options(args),
+                      combined=combined)
     summary = result.summary()
     rows = [[k, v if not isinstance(v, float) else round(v, 3)]
             for k, v in summary.items()]
@@ -47,7 +105,7 @@ def cmd_flow(args) -> int:
 
 
 def cmd_dataset(args) -> int:
-    dataset = build_paper_dataset(options=_options(args))
+    dataset = build_paper_dataset(options=_options(args), n_jobs=args.jobs)
     filtered, stats = dataset.filter_marginal()
     print(f"samples          : {dataset.n_samples}")
     print(f"marginal filtered: {stats['removed']} "
@@ -57,7 +115,7 @@ def cmd_dataset(args) -> int:
 
 
 def cmd_train(args) -> int:
-    dataset = build_paper_dataset(options=_options(args))
+    dataset = build_paper_dataset(options=_options(args), n_jobs=args.jobs)
     results = evaluate_models(dataset, preset=args.preset,
                               grid_search=args.grid_search)
     headers = ["Filtering", "Model", "V MAE", "V MedAE", "H MAE",
@@ -70,7 +128,7 @@ def cmd_train(args) -> int:
 
 def cmd_predict(args) -> int:
     options = _options(args)
-    dataset = build_paper_dataset(options=options)
+    dataset = build_paper_dataset(options=options, n_jobs=args.jobs)
     predictor = CongestionPredictor(args.model).fit(dataset)
     design = build_kernel(args.design, scale=args.scale,
                           variant=args.variant)
@@ -89,6 +147,61 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy needed for a demo printout)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def cmd_serve_demo(args) -> int:
+    if args.requests < 1:
+        print(f"error: --requests must be >= 1, got {args.requests}",
+              file=sys.stderr)
+        return 1
+    service = CongestionService(
+        args.model, options=_options(args), n_jobs=args.jobs
+    )
+    if service.registry is None:
+        print(f"note: no {CACHE_DIR_ENV}/--cache-dir — model will not "
+              f"be persisted", file=sys.stderr)
+
+    start = time.perf_counter()
+    source = service.warm()
+    print(f"model ready from '{source}' in "
+          f"{time.perf_counter() - start:.2f}s "
+          f"({args.model}, dataset {service.dataset_fingerprint[:12]}...)")
+
+    designs = sorted(KERNEL_BUILDERS)
+    requests = [
+        PredictRequest(designs[i % len(designs)])
+        for i in range(args.requests)
+    ]
+    timing = measure_serving(service, requests)
+
+    latencies = timing["latencies"]
+    n = len(requests)
+    print(f"\n{n} requests over {len(designs)} designs:")
+    print(f"  single : {timing['single_seconds']:.3f}s total "
+          f"({n / timing['single_seconds']:.1f} req/s)  "
+          f"p50 {1e3 * _percentile(latencies, 50):.1f}ms  "
+          f"p90 {1e3 * _percentile(latencies, 90):.1f}ms  "
+          f"p99 {1e3 * _percentile(latencies, 99):.1f}ms")
+    print(f"  batched: {timing['batch_seconds']:.3f}s total "
+          f"({n / timing['batch_seconds']:.1f} req/s, one model invocation)")
+
+    hottest = service.predict(requests[0])
+    print(f"\nhottest regions of {hottest.request.design}:")
+    for region in hottest.regions[:3]:
+        print(f"  {region.source_file}:{region.source_line}  "
+              f"V {region.vertical:.1f}%  H {region.horizontal:.1f}%")
+
+    print(f"\nstats: {service.stats()}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,10 +212,13 @@ def main(argv=None) -> int:
 
     p_flow = sub.add_parser("flow", help="run one C-to-FPGA flow")
     p_flow.add_argument("design",
-                        choices=sorted(PAPER_COMBINATIONS))
+                        choices=sorted({*PAPER_COMBINATIONS,
+                                        *KERNEL_BUILDERS}))
     p_flow.add_argument("--variant", default="baseline")
     p_flow.add_argument("--map", action="store_true",
                         help="print the congestion map")
+    p_flow.add_argument("--until", default=None, choices=STAGE_ORDER,
+                        help="stop the pipeline after this stage")
     _add_common(p_flow)
     p_flow.set_defaults(func=cmd_flow)
 
@@ -126,8 +242,34 @@ def main(argv=None) -> int:
     _add_common(p_pred)
     p_pred.set_defaults(func=cmd_predict)
 
+    p_serve = sub.add_parser(
+        "serve-demo",
+        help="train/load a model via the registry and serve a batch",
+    )
+    p_serve.add_argument("--model", default="gbrt",
+                         choices=("linear", "ann", "gbrt"))
+    p_serve.add_argument("--requests", type=int, default=12,
+                         help="number of prediction requests to answer")
+    _add_common(p_serve)
+    p_serve.set_defaults(func=cmd_serve_demo)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    previous_cache_dir = os.environ.get(CACHE_DIR_ENV)
+    if getattr(args, "cache_dir", None):
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        # don't leak --cache-dir into later in-process callers (tests,
+        # embedders invoking main() repeatedly)
+        if getattr(args, "cache_dir", None):
+            if previous_cache_dir is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous_cache_dir
 
 
 if __name__ == "__main__":

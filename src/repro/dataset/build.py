@@ -205,11 +205,12 @@ def dataset_from_flow(result: FlowResult) -> CongestionDataset:
 
 
 def _combo_dataset_part(
-    combo: str, options: FlowOptions, use_cache: bool
+    combo: str, options: FlowOptions, use_cache: bool, device=None
 ) -> CongestionDataset:
     """One combo's labelled samples (top-level so worker processes can
     import it)."""
-    result = run_flow(combo, "baseline", options=options, use_cache=use_cache)
+    result = run_flow(combo, "baseline", device=device, options=options,
+                      use_cache=use_cache)
     return dataset_from_flow(result)
 
 
@@ -220,6 +221,7 @@ def build_paper_dataset(
     combos: tuple[str, ...] | None = None,
     use_cache: bool = True,
     n_jobs: int = 1,
+    device=None,
 ) -> CongestionDataset:
     """Build the full dataset from the paper's benchmark combinations.
 
@@ -229,17 +231,21 @@ def build_paper_dataset(
     concatenated in combo order.  With ``REPRO_CACHE_DIR`` set, workers
     persist their flow results so nothing is ever implemented twice.
     """
+    from repro.fpga.device import device_fingerprint, xc7z020
+
     options = options or FlowOptions(scale=scale)
     combos = combos or tuple(PAPER_COMBINATIONS)
     store = cached_property_store("datasets")
-    key = ("paper_dataset", combos, options.cache_key("*", "baseline"))
+    # device calibration is part of the identity: labels from two
+    # differently-calibrated fabrics must never share a memo slot
+    key = ("paper_dataset", combos,
+           device_fingerprint(device or xc7z020()),
+           options.cache_key("*", "baseline"))
 
     def build() -> CongestionDataset:
         disk = disk_cache_from_env() if use_cache else None
         if disk is not None:
-            from repro.fpga.device import device_fingerprint, xc7z020
-
-            disk_key = ("dataset", *device_fingerprint(xc7z020()), *key)
+            disk_key = ("dataset", *key)
             hit = disk.get(disk_key)
             if hit is not None:
                 return hit
@@ -256,10 +262,11 @@ def build_paper_dataset(
                 parts = list(pool.map(
                     _combo_dataset_part, combos,
                     [options] * len(combos), [use_cache] * len(combos),
+                    [device] * len(combos),
                 ))
         else:
             parts = [
-                _combo_dataset_part(combo, options, use_cache)
+                _combo_dataset_part(combo, options, use_cache, device)
                 for combo in combos
             ]
         dataset = parts[0]

@@ -82,3 +82,16 @@ class ConvergenceWarning(UserWarning):
 
 class FlowError(ReproError):
     """End-to-end C-to-FPGA flow orchestration failure."""
+
+
+class ServeError(ReproError):
+    """Serving-layer failure (model registry, prediction service)."""
+
+
+class ModelRegistryError(ServeError):
+    """Model persistence failure (missing entry, unreadable artifact)."""
+
+
+class StaleModelError(ModelRegistryError):
+    """A persisted model's manifest no longer matches the running
+    library (device calibration, feature registry or dataset changed)."""

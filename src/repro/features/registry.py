@@ -187,6 +187,24 @@ def feature_names() -> tuple[str, ...]:
     return tuple(spec.name for spec in FEATURES)
 
 
+def registry_hash() -> str:
+    """SHA-256 over the ordered (index, name, category) triples.
+
+    This is the contract a trained model is bound to: a persisted model
+    whose manifest carries a different hash was trained on a different
+    feature vector layout and must never be served (the model registry
+    refuses such loads).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for spec in FEATURES:
+        digest.update(
+            f"{spec.index}:{spec.name}:{spec.category.value}\n".encode()
+        )
+    return digest.hexdigest()
+
+
 def feature_index(name: str) -> int:
     """Vector index of feature ``name``."""
     if name not in _INDEX_BY_NAME:

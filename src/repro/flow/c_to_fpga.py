@@ -6,52 +6,46 @@ synthesis, RTL elaboration, packing, placement, routing, timing and
 back-tracing, with per-stage wall-clock accounting (the paper contrasts
 the hours-long PAR against minutes of HLS and instant model inference).
 
-Results are cached per (kernel, variant, scale, seed, effort) in a
-process-wide store because several tables reuse the same implementations.
-When the ``REPRO_CACHE_DIR`` environment variable names a directory,
-results are additionally persisted there (content-addressed pickles) so
-a fresh process rebuilds nothing that an earlier one already ran.
+Since the stage-pipeline redesign the flow itself lives in
+:mod:`repro.flow.pipeline` as composable :class:`~repro.flow.pipeline.Stage`
+objects; ``run_flow`` / ``run_flow_on_design`` here are thin
+compatibility wrappers that run the default pipeline end to end and
+return the classic :class:`FlowResult`.
+
+Results are cached per (kernel, variant, scale, seed, effort, stage
+options) in a process-wide store because several tables reuse the same
+implementations.  When the ``REPRO_CACHE_DIR`` environment variable
+names a directory, results are additionally persisted there
+(content-addressed pickles) so a fresh process rebuilds nothing that an
+earlier one already ran.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.backtrace.trace import BacktraceResult, Backtracer
+from repro.errors import FlowError
 from repro.fpga.device import Device, device_fingerprint, xc7z020
-from repro.graph.depgraph import DependencyGraph, build_dependency_graph
-from repro.hls.scheduling import ClockConstraint
-from repro.hls.synthesis import HLSResult, synthesize
-from repro.impl.packing import Packing, pack_netlist
-from repro.impl.placement import Placement, PlacementOptions, place_netlist
-from repro.impl.routing import CongestionMap, RoutingOptions, route_design
-from repro.impl.timing import TimingAnalyzer, TimingParams, TimingReport
+from repro.graph.depgraph import DependencyGraph
+from repro.hls.synthesis import HLSResult
+from repro.impl.packing import Packing
+from repro.impl.placement import Placement
+from repro.impl.routing import CongestionMap
+from repro.impl.timing import TimingReport
 from repro.kernels.combos import build_combined, build_kernel
 from repro.kernels.common import KernelDesign
-from repro.rtl.generate import generate_netlist
 from repro.rtl.netlist import Netlist
 from repro.util.cache import cached_property_store, disk_cache_from_env
 
+# FlowOptions moved to the pipeline module; re-exported here for
+# backward compatibility (and for old on-disk pickles).
+from repro.flow.pipeline import FlowContext, FlowOptions, FlowPipeline
 
-@dataclass
-class FlowOptions:
-    """Knobs for one C-to-FPGA run."""
-
-    scale: float = 1.0
-    seed: int = 0
-    placement_effort: str = "fast"
-    clock_period_ns: float = 10.0
-    clock_uncertainty_ns: float = 1.25
-    merge_shared: bool = True
-    allow_sharing: bool = True
-
-    def cache_key(self, name: str, variant: str) -> tuple:
-        return (
-            name, variant, self.scale, self.seed, self.placement_effort,
-            self.clock_period_ns, self.clock_uncertainty_ns,
-            self.merge_shared, self.allow_sharing,
-        )
+__all__ = [
+    "FlowOptions", "FlowResult", "run_flow", "run_flow_on_design",
+    "design_cache_token",
+]
 
 
 @dataclass
@@ -77,6 +71,33 @@ class FlowResult:
             self.placement, self.congestion,
         )
 
+    @classmethod
+    def from_context(cls, ctx: FlowContext) -> "FlowResult":
+        """Materialize the classic result from a completed pipeline run."""
+        missing = [
+            name for name in ("hls", "netlist", "packing", "placement",
+                              "congestion", "timing", "graph", "labels")
+            if getattr(ctx, name) is None
+        ]
+        if missing:
+            raise FlowError(
+                f"cannot build FlowResult: missing artifacts {missing} "
+                f"(completed stages: {list(ctx.completed_stages)})"
+            )
+        return cls(
+            design=ctx.design,
+            device=ctx.device,
+            hls=ctx.hls,
+            netlist=ctx.netlist,
+            packing=ctx.packing,
+            placement=ctx.placement,
+            congestion=ctx.congestion,
+            timing=ctx.timing,
+            graph=ctx.graph,
+            labels=ctx.labels,
+            stage_seconds=dict(ctx.stage_seconds),
+        )
+
     def summary(self) -> dict:
         """One-line metrics used by the benchmark tables."""
         return {
@@ -95,67 +116,38 @@ class FlowResult:
         }
 
 
+def design_cache_token(name: str, variant: str, scale: float,
+                       combined: bool) -> tuple:
+    """Stage-cache identity of a by-name design build.
+
+    Builds are deterministic in (kind, name, variant, scale), so two
+    pipeline runs with the same token operate on identical designs and
+    may share stage artifacts.  A single-member combination builds the
+    exact kernel design, so it canonicalizes to the kernel token —
+    a serving request for "face_detection" reuses the artifacts the
+    dataset build produced for the same-named combo.
+    """
+    from repro.kernels.combos import PAPER_COMBINATIONS
+
+    if combined:
+        members = PAPER_COMBINATIONS.get(name)
+        if members is not None and len(members) == 1:
+            return ("kernel", members[0], variant, scale)
+    return ("combined" if combined else "kernel", name, variant, scale)
+
+
 def run_flow_on_design(
     design: KernelDesign,
     device: Device | None = None,
     options: FlowOptions | None = None,
 ) -> FlowResult:
-    """Run the complete implementation flow on an already-built design."""
-    options = options or FlowOptions()
-    device = device or xc7z020()
-    stage_seconds: dict[str, float] = {}
+    """Run the complete implementation flow on an already-built design.
 
-    def timed(stage: str, fn):
-        start = time.perf_counter()
-        result = fn()
-        stage_seconds[stage] = time.perf_counter() - start
-        return result
-
-    clock = ClockConstraint(options.clock_period_ns,
-                            options.clock_uncertainty_ns)
-    hls = timed("hls", lambda: synthesize(
-        design.module, design.directives, clock=clock,
-        allow_sharing=options.allow_sharing,
-    ))
-    netlist = timed("rtl", lambda: generate_netlist(hls))
-    packing = timed("pack", lambda: pack_netlist(netlist, device))
-    placement = timed("place", lambda: place_netlist(
-        netlist, packing, device,
-        PlacementOptions(effort=options.placement_effort, seed=options.seed),
-    ))
-    congestion = timed("route", lambda: route_design(
-        netlist, packing, placement, device, RoutingOptions()
-    ))
-    logic_delay = max(
-        s.critical_delay_ns for s in hls.schedule.functions.values()
-    )
-    timing = timed("sta", lambda: TimingAnalyzer(device, TimingParams()).analyze(
-        netlist, packing, placement, congestion,
-        logic_delay_ns=logic_delay,
-        target_period_ns=clock.period_ns,
-        uncertainty_ns=clock.uncertainty_ns,
-    ))
-    graph = timed("graph", lambda: build_dependency_graph(
-        design.module, hls.bindings if options.merge_shared else None,
-        merge_shared=options.merge_shared,
-    ))
-    labels = timed("backtrace", lambda: Backtracer(
-        design.module, netlist, packing, placement, congestion
-    ).label_operations())
-
-    return FlowResult(
-        design=design,
-        device=device,
-        hls=hls,
-        netlist=netlist,
-        packing=packing,
-        placement=placement,
-        congestion=congestion,
-        timing=timing,
-        graph=graph,
-        labels=labels,
-        stage_seconds=stage_seconds,
-    )
+    Compatibility wrapper over ``FlowPipeline.default().run(...)``; the
+    design is ad hoc (no by-name identity), so stage caching is off.
+    """
+    ctx = FlowPipeline.default().run(design, device, options)
+    return FlowResult.from_context(ctx)
 
 
 def run_flow(
@@ -170,33 +162,41 @@ def run_flow(
     """Build (by kernel/combination name) and implement one design."""
     options = options or FlowOptions()
     store = cached_property_store("flow_results")
-    key = options.cache_key(name, variant)
+    # Same shape as the disk key: `combined` and the device calibration
+    # must distinguish results in-process too ("face_detection" names
+    # both a kernel and a combination, and two differently-calibrated
+    # devices must never share a memo slot).
+    dev = device or xc7z020()
+    key = ("flow", combined, *device_fingerprint(dev),
+           *options.cache_key(name, variant))
 
-    def build() -> FlowResult:
+    def build(cache_token: tuple | None = None) -> FlowResult:
         if combined:
             design = build_combined(name, scale=options.scale, variant=variant)
         else:
             design = build_kernel(name, scale=options.scale, variant=variant)
-        return run_flow_on_design(design, device, options)
+        ctx = FlowPipeline.default().run(
+            design, device, options, cache_token=cache_token
+        )
+        return FlowResult.from_context(ctx)
 
     if not use_cache:
         return build()
 
+    token = design_cache_token(name, variant, options.scale, combined)
     disk = disk_cache_from_env()
 
     def build_and_run() -> FlowResult:
         if disk is None:
-            return build()
+            return build(token)
         # The fingerprint keys every device parameter the result
         # depends on — recalibrating e.g. h_tracks must miss, not
         # serve stale congestion from an earlier calibration.
-        dev = device or xc7z020()
-        disk_key = ("flow", combined, *device_fingerprint(dev), *key)
-        hit = disk.get(disk_key)
+        hit = disk.get(key)
         if hit is not None:
             return hit
-        result = build()
-        disk.put(disk_key, result)
+        result = build(token)
+        disk.put(key, result)
         return result
 
     return store.get_or_build(key, build_and_run)

@@ -1,0 +1,493 @@
+"""Composable stage pipeline for the C-to-FPGA flow.
+
+The flow is eight named stages (``hls -> rtl -> pack -> place -> route ->
+sta -> graph -> backtrace``), each a :class:`Stage` object that consumes
+artifacts from an immutable :class:`FlowContext` and produces exactly one
+new artifact.  :class:`FlowPipeline` threads the context through the
+stages and supports:
+
+* **partial runs** — ``pipeline.run(design, until="place")`` stops after
+  placement; ``pipeline.subset(["graph"])`` keeps only the stages a
+  target transitively requires (the HLS-prefix used by the serving
+  layer never touches place-and-route);
+* **substitution / injection** — ``with_stage`` swaps a stage
+  implementation, ``insert_after`` injects an extra one, both returning
+  a new pipeline (experiments never mutate the default flow);
+* **per-stage cache keys** — a stage's signature hashes its own options
+  plus, recursively, the signatures of the stages it requires, so a
+  routing-knob change re-runs routing onward but reuses placement, and
+  an HLS-only request hits the same cached HLS artifact a full flow
+  produced;
+* **per-stage timing/telemetry** — every executed stage appends a
+  :class:`StageRecord` (name, seconds, cache hit) and an optional
+  observer callback sees each record as it happens.
+
+``run_flow`` / ``run_flow_on_design`` in :mod:`repro.flow.c_to_fpga`
+remain as thin compatibility wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.backtrace.trace import BacktraceResult, Backtracer
+from repro.errors import FlowError
+from repro.fpga.device import Device, device_fingerprint, xc7z020
+from repro.graph.depgraph import DependencyGraph, build_dependency_graph
+from repro.hls.scheduling import ClockConstraint
+from repro.hls.synthesis import HLSResult, synthesize
+from repro.impl.packing import Packing, pack_netlist
+from repro.impl.placement import Placement, PlacementOptions, place_netlist
+from repro.impl.routing import CongestionMap, RoutingOptions, route_design
+from repro.impl.timing import TimingAnalyzer, TimingParams, TimingReport
+from repro.kernels.common import KernelDesign
+from repro.rtl.generate import generate_netlist
+from repro.rtl.netlist import Netlist
+from repro.util.cache import cached_property_store, disk_cache_from_env
+
+#: canonical stage order of the complete flow
+STAGE_ORDER = (
+    "hls", "rtl", "pack", "place", "route", "sta", "graph", "backtrace",
+)
+
+
+@dataclass
+class FlowOptions:
+    """Knobs for one C-to-FPGA run.
+
+    Stage-level option objects (currently :class:`RoutingOptions`) are
+    part of the cache key: any knob that changes a stage's output must
+    change the key, or a later run would silently serve stale results.
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    placement_effort: str = "fast"
+    clock_period_ns: float = 10.0
+    clock_uncertainty_ns: float = 1.25
+    merge_shared: bool = True
+    allow_sharing: bool = True
+    routing: RoutingOptions = field(default_factory=RoutingOptions)
+
+    def cache_key(self, name: str, variant: str) -> tuple:
+        return (
+            name, variant, self.scale, self.seed, self.placement_effort,
+            self.clock_period_ns, self.clock_uncertainty_ns,
+            self.merge_shared, self.allow_sharing,
+            *self.routing.cache_key(),
+        )
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Telemetry for one executed stage."""
+
+    stage: str
+    seconds: float
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class FlowContext:
+    """Immutable state threaded through the pipeline.
+
+    Every stage receives the context and returns one artifact; the
+    pipeline attaches it via :meth:`with_output`, producing a *new*
+    context.  Artifacts of stages that have not run are ``None``.
+    """
+
+    design: KernelDesign
+    device: Device
+    options: FlowOptions
+    hls: HLSResult | None = None
+    netlist: Netlist | None = None
+    packing: Packing | None = None
+    placement: Placement | None = None
+    congestion: CongestionMap | None = None
+    timing: TimingReport | None = None
+    graph: DependencyGraph | None = None
+    labels: BacktraceResult | None = None
+    records: tuple[StageRecord, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall clock (insertion order == execution order)."""
+        return {r.stage: r.seconds for r in self.records}
+
+    @property
+    def completed_stages(self) -> tuple[str, ...]:
+        return tuple(r.stage for r in self.records)
+
+    def require(self, artifact: str):
+        """The named artifact, or :class:`FlowError` if its stage has
+        not run."""
+        value = getattr(self, artifact)
+        if value is None:
+            raise FlowError(
+                f"artifact {artifact!r} not available; completed stages: "
+                f"{list(self.completed_stages)}"
+            )
+        return value
+
+    def with_output(self, record: StageRecord, **artifacts) -> "FlowContext":
+        return replace(self, records=(*self.records, record), **artifacts)
+
+
+class Stage:
+    """One named flow stage.
+
+    Subclasses set ``name`` (stage identity), ``requires`` (names of
+    stages whose artifacts must already be in the context), ``provides``
+    (the :class:`FlowContext` field written; empty for observer-only
+    stages) and implement :meth:`run`.  :meth:`options_key` returns the
+    subset of :class:`FlowOptions` the stage actually reads — it is the
+    stage's contribution to pipeline cache signatures, so keep it exact.
+    """
+
+    name: str = ""
+    requires: tuple[str, ...] = ()
+    provides: str = ""
+    #: True when run() mutates ctx.design (its artifact is only valid
+    #: against that mutated instance, so caches must carry the design)
+    mutates_design: bool = False
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return ()
+
+    def run(self, ctx: FlowContext):
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Implementation identity mixed into cache signatures (so a
+        substituted stage class never shares a cache slot with the
+        stock one)."""
+        cls = type(self)
+        return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class HLSStage(Stage):
+    name = "hls"
+    provides = "hls"
+    #: directive transforms (unroll/inline) add replica ops to the module
+    mutates_design = True
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return (options.clock_period_ns, options.clock_uncertainty_ns,
+                options.allow_sharing)
+
+    def run(self, ctx: FlowContext) -> HLSResult:
+        clock = ClockConstraint(ctx.options.clock_period_ns,
+                                ctx.options.clock_uncertainty_ns)
+        return synthesize(
+            ctx.design.module, ctx.design.directives, clock=clock,
+            allow_sharing=ctx.options.allow_sharing,
+        )
+
+
+class RTLStage(Stage):
+    name = "rtl"
+    requires = ("hls",)
+    provides = "netlist"
+
+    def run(self, ctx: FlowContext) -> Netlist:
+        return generate_netlist(ctx.require("hls"))
+
+
+class PackStage(Stage):
+    name = "pack"
+    requires = ("rtl",)
+    provides = "packing"
+
+    def run(self, ctx: FlowContext) -> Packing:
+        return pack_netlist(ctx.require("netlist"), ctx.device)
+
+
+class PlaceStage(Stage):
+    name = "place"
+    requires = ("rtl", "pack")
+    provides = "placement"
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return (options.placement_effort, options.seed)
+
+    def run(self, ctx: FlowContext) -> Placement:
+        return place_netlist(
+            ctx.require("netlist"), ctx.require("packing"), ctx.device,
+            PlacementOptions(effort=ctx.options.placement_effort,
+                             seed=ctx.options.seed),
+        )
+
+
+class RouteStage(Stage):
+    name = "route"
+    requires = ("rtl", "pack", "place")
+    provides = "congestion"
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return options.routing.cache_key()
+
+    def run(self, ctx: FlowContext) -> CongestionMap:
+        return route_design(
+            ctx.require("netlist"), ctx.require("packing"),
+            ctx.require("placement"), ctx.device, ctx.options.routing,
+        )
+
+
+class StaStage(Stage):
+    name = "sta"
+    requires = ("hls", "rtl", "pack", "place", "route")
+    provides = "timing"
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return (options.clock_period_ns, options.clock_uncertainty_ns)
+
+    def run(self, ctx: FlowContext) -> TimingReport:
+        hls = ctx.require("hls")
+        logic_delay = max(
+            s.critical_delay_ns for s in hls.schedule.functions.values()
+        )
+        return TimingAnalyzer(ctx.device, TimingParams()).analyze(
+            ctx.require("netlist"), ctx.require("packing"),
+            ctx.require("placement"), ctx.require("congestion"),
+            logic_delay_ns=logic_delay,
+            target_period_ns=ctx.options.clock_period_ns,
+            uncertainty_ns=ctx.options.clock_uncertainty_ns,
+        )
+
+
+class GraphStage(Stage):
+    name = "graph"
+    requires = ("hls",)
+    provides = "graph"
+
+    def options_key(self, options: FlowOptions) -> tuple:
+        return (options.merge_shared,)
+
+    def run(self, ctx: FlowContext) -> DependencyGraph:
+        hls = ctx.require("hls")
+        return build_dependency_graph(
+            ctx.design.module,
+            hls.bindings if ctx.options.merge_shared else None,
+            merge_shared=ctx.options.merge_shared,
+        )
+
+
+class BacktraceStage(Stage):
+    name = "backtrace"
+    requires = ("rtl", "pack", "place", "route")
+    provides = "labels"
+
+    def run(self, ctx: FlowContext) -> BacktraceResult:
+        return Backtracer(
+            ctx.design.module, ctx.require("netlist"),
+            ctx.require("packing"), ctx.require("placement"),
+            ctx.require("congestion"),
+        ).label_operations()
+
+
+def default_stages() -> tuple[Stage, ...]:
+    """Fresh instances of the eight stock stages, in flow order."""
+    return (HLSStage(), RTLStage(), PackStage(), PlaceStage(), RouteStage(),
+            StaStage(), GraphStage(), BacktraceStage())
+
+
+class FlowPipeline:
+    """An ordered, validated sequence of :class:`Stage` objects."""
+
+    def __init__(self, stages: Sequence[Stage] | None = None) -> None:
+        self.stages: tuple[Stage, ...] = (
+            tuple(stages) if stages is not None else default_stages()
+        )
+        self._by_name: dict[str, Stage] = {}
+        provided: set[str] = set()
+        for stage in self.stages:
+            if not stage.name:
+                raise FlowError(f"stage {stage!r} has no name")
+            if stage.name in self._by_name:
+                raise FlowError(f"duplicate stage name {stage.name!r}")
+            for req in stage.requires:
+                if req not in self._by_name:
+                    raise FlowError(
+                        f"stage {stage.name!r} requires {req!r}, which is "
+                        f"not an earlier stage"
+                    )
+            if stage.provides:
+                if stage.provides in provided:
+                    raise FlowError(
+                        f"artifact {stage.provides!r} provided twice"
+                    )
+                if stage.provides not in FlowContext.__dataclass_fields__:
+                    raise FlowError(
+                        f"stage {stage.name!r} provides unknown artifact "
+                        f"{stage.provides!r}"
+                    )
+                provided.add(stage.provides)
+            self._by_name[stage.name] = stage
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "FlowPipeline":
+        return cls()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def stage(self, name: str) -> Stage:
+        if name not in self._by_name:
+            raise FlowError(
+                f"unknown stage {name!r}; pipeline has {list(self.names)}"
+            )
+        return self._by_name[name]
+
+    def until(self, name: str) -> "FlowPipeline":
+        """The prefix pipeline ending at (and including) ``name``."""
+        self.stage(name)
+        cut = self.names.index(name) + 1
+        return FlowPipeline(self.stages[:cut])
+
+    def subset(self, targets: Iterable[str]) -> "FlowPipeline":
+        """Only ``targets`` plus the stages they transitively require.
+
+        ``FlowPipeline.default().subset(["graph"])`` is the HLS-prefix
+        pipeline (``hls`` -> ``graph``) — no place-and-route.
+        """
+        needed: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in needed:
+                return
+            needed.add(name)
+            for req in self.stage(name).requires:
+                visit(req)
+
+        for target in targets:
+            visit(target)
+        return FlowPipeline([s for s in self.stages if s.name in needed])
+
+    def with_stage(self, stage: Stage) -> "FlowPipeline":
+        """Substitute the same-named stage with ``stage``."""
+        self.stage(stage.name)
+        return FlowPipeline([
+            stage if s.name == stage.name else s for s in self.stages
+        ])
+
+    def insert_after(self, anchor: str, stage: Stage) -> "FlowPipeline":
+        """Inject ``stage`` right after stage ``anchor``."""
+        idx = self.names.index(self.stage(anchor).name) + 1
+        return FlowPipeline([*self.stages[:idx], stage, *self.stages[idx:]])
+
+    # ------------------------------------------------------------------
+    # cache signatures
+    # ------------------------------------------------------------------
+    def signature(self, name: str, options: FlowOptions) -> tuple:
+        """Cache signature of stage ``name``: its implementation, its
+        options slice, and (recursively) its requirements' signatures.
+
+        Purely structural — two pipelines that reach a stage through the
+        same dependency closure share signatures even if one carries
+        extra unrelated stages, which is what lets an HLS-prefix run hit
+        the HLS artifact a full flow cached.
+        """
+        stage = self.stage(name)
+        return (
+            stage.name, stage.fingerprint(), stage.options_key(options),
+            tuple(self.signature(r, options) for r in stage.requires),
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        design: KernelDesign,
+        device: Device | None = None,
+        options: FlowOptions | None = None,
+        *,
+        until: str | None = None,
+        cache_token: tuple | None = None,
+        persist: bool = False,
+        observer: Callable[[StageRecord], None] | None = None,
+    ) -> FlowContext:
+        """Thread a fresh :class:`FlowContext` through the stages.
+
+        ``until`` truncates the run after the named stage.  When
+        ``cache_token`` identifies the design build (e.g. ``("combined",
+        name, variant, scale)``), each stage artifact is memoized in the
+        process-wide ``flow_stages`` store under (token, device
+        fingerprint, stage signature) — cache hits record ~0 seconds and
+        ``cached=True``.  Ad-hoc designs should pass ``None`` (no safe
+        identity to key on).  ``persist=True`` additionally writes
+        per-stage artifacts to the ``REPRO_CACHE_DIR`` disk cache (if
+        enabled) so partial runs and serving prefixes survive process
+        restarts; full ``run_flow`` runs keep their own whole-result
+        persistence instead.  ``observer`` sees every
+        :class:`StageRecord` as it is produced.
+        """
+        options = options or FlowOptions()
+        device = device or xc7z020()
+        pipe = self.until(until) if until is not None else self
+        store = (
+            cached_property_store("flow_stages")
+            if cache_token is not None else None
+        )
+        disk = disk_cache_from_env() if (store is not None and persist) \
+            else None
+        base_key = (
+            ("stage", cache_token, device_fingerprint(device))
+            if store is not None else None
+        )
+
+        ctx = FlowContext(design=design, device=device, options=options)
+        for stage in pipe.stages:
+            start = time.perf_counter()
+            cached = False
+            if store is not None and stage.provides:
+                key = (*base_key, pipe.signature(stage.name, options))
+                cached = key in store
+                local_ctx = ctx
+                from_disk = []
+
+                # A design-mutating stage caches the design alongside
+                # its artifact: the artifact is only valid against a
+                # module carrying the uids the mutation added, so hits
+                # adopt the stored instance.  Downstream stages store
+                # no design copy — every stage transitively requires
+                # the mutating stage, whose entry already adopted the
+                # right instance earlier in this run (and all
+                # artifact cross-links are by uid/id, not identity).
+                def build_entry():
+                    if disk is not None:
+                        hit = disk.get(key)
+                        if hit is not None:
+                            from_disk.append(True)
+                            return hit
+                    design_copy = (
+                        local_ctx.design if stage.mutates_design else None
+                    )
+                    entry = (stage.run(local_ctx), design_copy)
+                    if disk is not None:
+                        disk.put(key, entry)
+                    return entry
+
+                value, cached_design = store.get_or_build(key, build_entry)
+                cached = cached or bool(from_disk)
+                # unconditional (not gated on `cached`): a concurrent
+                # run may have populated the entry between the
+                # `in store` check and get_or_build
+                if cached_design is not None and cached_design is not ctx.design:
+                    ctx = replace(ctx, design=cached_design)
+            else:
+                value = stage.run(ctx)
+            record = StageRecord(stage.name, time.perf_counter() - start,
+                                 cached)
+            if observer is not None:
+                observer(record)
+            artifacts = {stage.provides: value} if stage.provides else {}
+            ctx = ctx.with_output(record, **artifacts)
+        return ctx

@@ -18,7 +18,7 @@ non-inlined design still exposes its interconnection structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

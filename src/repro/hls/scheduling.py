@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
 from repro.hls.opchar import OperatorLibrary, DEFAULT_LIBRARY
-from repro.ir.function import Function, Loop
+from repro.ir.function import Function
 from repro.ir.module import Module
 
 #: Registered-output arrival offset inside a state (clock-to-out, ns).

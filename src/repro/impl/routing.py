@@ -49,6 +49,12 @@ class RoutingOptions:
     #: extra smear radius (tiles) emulating detour diversity
     smear: int = 1
 
+    def cache_key(self) -> tuple:
+        """Every knob the routed congestion depends on — flow caches
+        must include this or a future routing change would silently
+        serve stale results."""
+        return (self.pin_breakout, self.smear)
+
 
 class CongestionMap:
     """Vertical/horizontal congestion per tile, in percent.

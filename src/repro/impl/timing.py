@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.fpga.device import Device
 from repro.impl.packing import Packing

@@ -13,7 +13,7 @@ from typing import Iterable, Optional
 
 from repro.errors import IRError
 from repro.ir.operation import Operation
-from repro.ir.types import ArrayType, Type
+from repro.ir.types import ArrayType
 from repro.ir.value import Value
 
 

@@ -13,7 +13,7 @@ from repro.hls.directives import DirectiveSet
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.types import I16, I32, IntType, U32
+from repro.ir.types import I32, IntType, U32
 from repro.kernels.common import (
     KernelDesign,
     STANDARD_VARIANTS,

@@ -12,7 +12,7 @@ from repro.hls.directives import DirectiveSet
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.types import I16, I32, IntType
+from repro.ir.types import I16, IntType
 from repro.kernels.common import (
     KernelDesign,
     STANDARD_VARIANTS,

@@ -23,7 +23,7 @@ from repro.ml.gbrt import GradientBoostingRegressor
 from repro.ml.linear import LassoRegression
 from repro.ml.metrics import mean_absolute_error, median_absolute_error
 from repro.ml.mlp import MLPRegressor
-from repro.ml.model_selection import GridSearchCV, KFold, train_test_split
+from repro.ml.model_selection import KFold, train_test_split
 from repro.ml.preprocessing import StandardScaler
 
 #: targets evaluated in Table IV, in paper column order

@@ -58,6 +58,37 @@ class DesignPrediction:
         return sorted(self.regions, key=lambda r: -r.average)[:n]
 
 
+def regions_from_predictions(
+    design: KernelDesign,
+    graph,
+    nodes: list[int],
+    v: np.ndarray,
+    h: np.ndarray,
+) -> list[SourceRegionPrediction]:
+    """Aggregate per-node predictions to source-region maxima.
+
+    Shared by :meth:`CongestionPredictor.predict_design` and the batch
+    path of :class:`repro.serve.CongestionService` so both report
+    identical regions for identical per-node predictions.
+    """
+    by_region: dict[tuple[str, int], list[int]] = {}
+    for i, node_id in enumerate(nodes):
+        info = graph.info(node_id)
+        op = design.module.find_op(info.op_uids[0])
+        by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
+    return [
+        SourceRegionPrediction(
+            source_file=file,
+            source_line=line,
+            vertical=float(v[idx].max()),
+            horizontal=float(h[idx].max()),
+            n_ops=len(idx),
+        )
+        for (file, line), idx_list in by_region.items()
+        for idx in [np.asarray(idx_list)]
+    ]
+
+
 class CongestionPredictor:
     """Vertical + horizontal congestion regressors behind one facade."""
 
@@ -69,6 +100,19 @@ class CongestionPredictor:
         self.device = device or xc7z020()
         self._models: dict[str, ScaledModel] = {}
         self._factory = factories[model]
+
+    # ------------------------------------------------------------------
+    # pickling: the factory is a module-level lambda (unpicklable);
+    # restore it from the model name so trained predictors can be
+    # persisted by the model registry.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_factory", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._factory = _model_factories()[self.model_name]
 
     # ------------------------------------------------------------------
     def fit(self, dataset: CongestionDataset, *, filter_marginal: bool = True
@@ -120,23 +164,7 @@ class CongestionPredictor:
         extractor = FeatureExtractor(hls, graph, self.device)
         nodes, X = extractor.extract_all()
         v, h = self.predict_matrix(X)
-
-        by_region: dict[tuple[str, int], list[int]] = {}
-        for i, node_id in enumerate(nodes):
-            info = graph.info(node_id)
-            op = design.module.find_op(info.op_uids[0])
-            by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
-        regions = [
-            SourceRegionPrediction(
-                source_file=file,
-                source_line=line,
-                vertical=float(v[idx].max()),
-                horizontal=float(h[idx].max()),
-                n_ops=len(idx),
-            )
-            for (file, line), idx_list in by_region.items()
-            for idx in [np.asarray(idx_list)]
-        ]
+        regions = regions_from_predictions(design, graph, nodes, v, h)
         return DesignPrediction(
             node_ids=nodes,
             vertical=v,

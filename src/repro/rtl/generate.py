@@ -28,7 +28,7 @@ from repro.hls.synthesis import HLSResult
 from repro.ir.function import Function
 from repro.ir.operation import Operation
 from repro.ir.value import Value
-from repro.rtl.netlist import Cell, Net, Netlist
+from repro.rtl.netlist import Netlist
 
 #: Completely-partitioned register banks are packed into cells of at most
 #: this many flip-flops (mirrors slice register packing).

@@ -10,7 +10,7 @@ nets.  Each cell records the IR operations it implements and the function
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RTLError
 

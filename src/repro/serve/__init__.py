@@ -1,0 +1,24 @@
+"""Serving layer: persistent model registry + prediction service.
+
+This subsystem is the scaling seam named in the ROADMAP: every future
+serving change (async, sharding, multi-backend) lands here instead of
+rewriting the flow or predict layers.
+"""
+
+from repro.serve.registry import (
+    MANIFEST_FORMAT_VERSION,
+    ModelManifest,
+    ModelRegistry,
+    dataset_spec_fingerprint,
+)
+from repro.serve.service import (
+    CongestionService,
+    PredictRequest,
+    PredictResponse,
+)
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION", "ModelManifest", "ModelRegistry",
+    "dataset_spec_fingerprint",
+    "CongestionService", "PredictRequest", "PredictResponse",
+]

@@ -1,0 +1,268 @@
+"""Persistent storage of trained congestion predictors.
+
+The paper's serving story ("detect congested regions ... without running
+the time-consuming RTL implementation flow") only pays off if a trained
+model outlives the process that trained it.  :class:`ModelRegistry`
+persists :class:`~repro.predict.CongestionPredictor` instances under
+``REPRO_CACHE_DIR`` (or any explicit root) next to a JSON
+:class:`ModelManifest` that records everything the model's validity
+depends on:
+
+* the **model family** (linear / ann / gbrt);
+* the **feature-registry hash** — the exact 302-feature vector layout
+  the model was trained on;
+* the **dataset fingerprint** — which combos and flow options produced
+  the training labels;
+* the **device fingerprint** — the fabric calibration (grid, columns,
+  track counts) behind those labels.
+
+``load`` refuses to return a model whose manifest no longer matches the
+running library (:class:`~repro.errors.StaleModelError`): a recalibrated
+device or a changed feature registry silently invalidates every persisted
+model, exactly like the flow disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+from repro.errors import ModelRegistryError, StaleModelError
+from repro.features.registry import N_FEATURES, registry_hash
+from repro.flow.pipeline import FlowOptions
+from repro.fpga.device import Device, device_fingerprint, xc7z020
+from repro.predict.predictor import CongestionPredictor
+from repro.util.cache import (
+    CACHE_DIR_ENV,
+    writer_tmp_path,
+    deep_pickle_dump,
+    deep_pickle_load,
+)
+
+#: bump when the persisted predictor layout changes incompatibly
+MANIFEST_FORMAT_VERSION = 1
+
+
+def dataset_spec_fingerprint(
+    combos: tuple[str, ...], options: FlowOptions
+) -> str:
+    """Identity of a training-dataset *specification*.
+
+    Computable without building the dataset (the whole point of the
+    registry is answering "is a model for this spec already trained?"
+    cheaply).  Device calibration is deliberately excluded — it is
+    validated separately via the manifest's device fingerprint, so a
+    recalibration surfaces as a *stale* model, not a silent miss.
+    """
+    payload = ("dataset-spec", tuple(combos),
+               options.cache_key("*", "baseline"))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelManifest:
+    """Everything a persisted model's validity depends on."""
+
+    model_family: str
+    feature_registry_hash: str
+    dataset_fingerprint: str
+    device_fingerprint: tuple
+    n_features: int
+    n_training_samples: int
+    created_at: str
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, default=list)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelManifest":
+        raw = json.loads(text)
+        raw["device_fingerprint"] = tuple(
+            tuple(v) if isinstance(v, list) else v
+            for v in raw["device_fingerprint"]
+        )
+        return cls(**raw)
+
+
+class ModelRegistry:
+    """Save/load trained predictors with manifest validation."""
+
+    def __init__(self, root: str | None = None) -> None:
+        if root is None:
+            cache_root = os.environ.get(CACHE_DIR_ENV, "").strip()
+            if not cache_root:
+                raise ModelRegistryError(
+                    "no registry root: pass one explicitly or set "
+                    f"{CACHE_DIR_ENV}"
+                )
+            root = os.path.join(cache_root, "models")
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.saves = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, model_family: str, dataset_fingerprint: str,
+             device: Device | None = None) -> str:
+        # Device calibration is part of the storage slot: two
+        # calibrations sharing one cache root must coexist, not evict
+        # each other into perpetual retrain thrashing.
+        fingerprint = device_fingerprint(device or xc7z020())
+        payload = f"model:v{MANIFEST_FORMAT_VERSION}:" \
+                  f"{model_family}:{dataset_fingerprint}:{fingerprint!r}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def manifest_path(self, model_family: str, dataset_fingerprint: str,
+                      device: Device | None = None) -> str:
+        key = self._key(model_family, dataset_fingerprint, device)
+        return os.path.join(self.root, f"{key}.manifest.json")
+
+    def model_path(self, model_family: str, dataset_fingerprint: str,
+                   device: Device | None = None) -> str:
+        key = self._key(model_family, dataset_fingerprint, device)
+        return os.path.join(self.root, f"{key}.model.pkl")
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        predictor: CongestionPredictor,
+        *,
+        dataset_fingerprint: str,
+    ) -> ModelManifest:
+        """Persist a fitted predictor; returns the written manifest."""
+        n_samples = getattr(predictor, "n_training_samples_", None)
+        if n_samples is None:
+            raise ModelRegistryError(
+                "refusing to persist an unfitted CongestionPredictor"
+            )
+        manifest = ModelManifest(
+            model_family=predictor.model_name,
+            feature_registry_hash=registry_hash(),
+            dataset_fingerprint=dataset_fingerprint,
+            device_fingerprint=device_fingerprint(predictor.device),
+            n_features=N_FEATURES,
+            n_training_samples=int(n_samples),
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        family, fp = predictor.model_name, dataset_fingerprint
+        dev = predictor.device
+        deep_pickle_dump(self.model_path(family, fp, dev), predictor)
+        manifest_path = self.manifest_path(family, fp, dev)
+        tmp = writer_tmp_path(manifest_path)
+        with open(tmp, "w") as fh:
+            fh.write(manifest.to_json() + "\n")
+        os.replace(tmp, manifest_path)
+        self.saves += 1
+        return manifest
+
+    # ------------------------------------------------------------------
+    def read_manifest(self, model_family: str, dataset_fingerprint: str,
+                      device: Device | None = None) -> ModelManifest:
+        path = self.manifest_path(model_family, dataset_fingerprint, device)
+        try:
+            with open(path) as fh:
+                return ModelManifest.from_json(fh.read())
+        except FileNotFoundError:
+            # A never-trained calibration is a plain miss, even when
+            # other calibrations' models exist in the same root —
+            # StaleModelError is reserved for a manifest that no longer
+            # matches the library it is being loaded into.
+            self.misses += 1
+            raise ModelRegistryError(
+                f"no persisted {model_family!r} model for dataset "
+                f"{dataset_fingerprint[:12]}... under {self.root}"
+            ) from None
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            self.misses += 1
+            raise ModelRegistryError(
+                f"unreadable manifest {path}: {exc}"
+            ) from exc
+
+    def _validate(self, manifest: ModelManifest, device: Device) -> None:
+        expected = {
+            "format_version": (MANIFEST_FORMAT_VERSION,
+                               manifest.format_version),
+            "feature_registry_hash": (registry_hash(),
+                                      manifest.feature_registry_hash),
+            "n_features": (N_FEATURES, manifest.n_features),
+            "device_fingerprint": (device_fingerprint(device),
+                                   manifest.device_fingerprint),
+        }
+        mismatches = [
+            f"{name}: manifest has {got!r}, library expects {want!r}"
+            for name, (want, got) in expected.items() if want != got
+        ]
+        if mismatches:
+            self.stale += 1
+            raise StaleModelError(
+                "persisted model is stale — " + "; ".join(mismatches)
+            )
+
+    def load(
+        self,
+        model_family: str,
+        dataset_fingerprint: str,
+        *,
+        device: Device | None = None,
+    ) -> CongestionPredictor:
+        """Load a persisted predictor after validating its manifest.
+
+        Raises :class:`ModelRegistryError` when nothing is persisted and
+        :class:`StaleModelError` when a persisted model no longer
+        matches the running library.
+        """
+        device = device or xc7z020()
+        manifest = self.read_manifest(model_family, dataset_fingerprint,
+                                      device)
+        self._validate(manifest, device)
+        path = self.model_path(model_family, dataset_fingerprint, device)
+        try:
+            predictor = deep_pickle_load(path)
+        except Exception as exc:
+            self.misses += 1
+            raise ModelRegistryError(
+                f"unreadable model artifact {path}: {exc}"
+            ) from exc
+        if not isinstance(predictor, CongestionPredictor):
+            self.misses += 1
+            raise ModelRegistryError(
+                f"{path} does not contain a CongestionPredictor"
+            )
+        self.hits += 1
+        return predictor
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[ModelManifest]:
+        """All readable manifests under the registry root."""
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".manifest.json"):
+                continue
+            try:
+                with open(os.path.join(self.root, name)) as fh:
+                    out.append(ModelManifest.from_json(fh.read()))
+            except (OSError, ValueError, TypeError, KeyError):
+                continue
+        return out
+
+    def stats(self) -> dict[str, int]:
+        try:
+            entries = sum(
+                1 for n in os.listdir(self.root)
+                if n.endswith(".manifest.json")
+            )
+        except OSError:  # registry root removed out from under us
+            entries = 0
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "saves": self.saves,
+            "entries": entries,
+        }

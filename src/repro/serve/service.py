@@ -1,0 +1,305 @@
+"""The congestion-prediction serving facade.
+
+:class:`CongestionService` is the stable front door for answering
+"where will this design be congested?" many times cheaply:
+
+* it lazily **loads-or-trains** its predictor — first from an in-memory
+  slot, then from the :class:`~repro.serve.registry.ModelRegistry`
+  (second processes never retrain), and only then by building the
+  training dataset and fitting from scratch (persisting the result);
+* requests run only the **HLS prefix** of the flow pipeline
+  (``FlowPipeline.default().subset(["graph"])`` — no packing, placement
+  or routing ever executes on the serving path), with stage artifacts
+  memoized per design so repeated requests are feature-extraction only;
+* :meth:`predict_batch` answers many :class:`PredictRequest` objects in
+  one model invocation: features of all unique designs are stacked into
+  a single matrix and the regressors run once, which is where the batch
+  throughput win comes from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.build import build_paper_dataset
+from repro.errors import ModelRegistryError, ServeError, StaleModelError
+from repro.features.extract import FeatureExtractor
+from repro.flow.c_to_fpga import design_cache_token
+from repro.flow.pipeline import FlowOptions, FlowPipeline
+from repro.fpga.device import Device, xc7z020
+from repro.kernels.combos import (
+    KERNEL_BUILDERS,
+    PAPER_COMBINATIONS,
+    build_combined,
+    build_kernel,
+)
+from repro.predict.predictor import (
+    CongestionPredictor,
+    SourceRegionPrediction,
+    regions_from_predictions,
+)
+from repro.serve.registry import ModelRegistry, dataset_spec_fingerprint
+from repro.util.cache import cached_property_store
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction request, addressable by design name."""
+
+    design: str
+    variant: str = "baseline"
+    #: how many hottest source regions to return
+    top: int = 5
+
+
+@dataclass
+class PredictResponse:
+    """Answer to one :class:`PredictRequest`."""
+
+    request: PredictRequest
+    #: hottest source regions, descending by average congestion
+    regions: list[SourceRegionPrediction] = field(default_factory=list)
+    n_operations: int = 0
+    predicted_max_vertical: float = 0.0
+    predicted_max_horizontal: float = 0.0
+    #: where the model came from: "memory" | "registry" | "trained"
+    model_source: str = ""
+    #: wall seconds attributed to this request (batch time / batch size
+    #: when served as part of a batch)
+    latency_seconds: float = 0.0
+    batch_size: int = 1
+
+
+class CongestionService:
+    """Train-or-load once, then answer prediction requests cheaply."""
+
+    def __init__(
+        self,
+        model: str = "gbrt",
+        *,
+        options: FlowOptions | None = None,
+        device: Device | None = None,
+        combos: tuple[str, ...] | None = None,
+        registry: ModelRegistry | str | None = "auto",
+        n_jobs: int = 1,
+    ) -> None:
+        self.model_name = model
+        self.options = options or FlowOptions()
+        self.device = device or xc7z020()
+        self.combos = tuple(combos or PAPER_COMBINATIONS)
+        self.n_jobs = n_jobs
+        if registry == "auto":
+            try:
+                self.registry: ModelRegistry | None = ModelRegistry()
+            except ModelRegistryError:
+                self.registry = None  # no REPRO_CACHE_DIR: memory only
+        elif isinstance(registry, str):
+            self.registry = ModelRegistry(registry)
+        else:
+            self.registry = registry
+        #: the HLS prefix — hls + dependency graph, nothing physical
+        self.pipeline = FlowPipeline.default().subset(["graph"])
+        #: built designs per token — rebuilt IR would be discarded on
+        #: every warm stage-cache hit anyway.  Per-service (not global):
+        #: this service's fixed options mean each design is synthesized
+        #: (= module-mutated) at most once.
+        self._designs: dict[tuple, object] = {}
+        self._predictor: CongestionPredictor | None = None
+        self._model_source = ""
+        self._counters = {
+            "predictions": 0, "batches": 0, "trained": 0,
+            "registry_loads": 0, "stale_rejections": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def dataset_fingerprint(self) -> str:
+        return dataset_spec_fingerprint(self.combos, self.options)
+
+    def warm(self) -> str:
+        """Ensure a predictor is available; returns its source
+        ("memory", "registry" or "trained")."""
+        if self._predictor is not None:
+            self._model_source = "memory"
+            return self._model_source
+
+        if self.registry is not None:
+            try:
+                self._predictor = self.registry.load(
+                    self.model_name, self.dataset_fingerprint,
+                    device=self.device,
+                )
+                self._counters["registry_loads"] += 1
+                self._model_source = "registry"
+                return self._model_source
+            except StaleModelError:
+                self._counters["stale_rejections"] += 1
+            except ModelRegistryError:
+                pass  # nothing persisted yet — train below
+
+        dataset = build_paper_dataset(
+            options=self.options, combos=self.combos, n_jobs=self.n_jobs,
+            device=self.device,
+        )
+        predictor = CongestionPredictor(self.model_name, self.device)
+        predictor.fit(dataset)
+        self._predictor = predictor
+        self._counters["trained"] += 1
+        self._model_source = "trained"
+        if self.registry is not None:
+            self.registry.save(
+                predictor, dataset_fingerprint=self.dataset_fingerprint
+            )
+        return self._model_source
+
+    @property
+    def predictor(self) -> CongestionPredictor:
+        if self._predictor is None:
+            self.warm()
+        return self._predictor
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _build_design(self, request: PredictRequest):
+        if request.design in KERNEL_BUILDERS:
+            build, combined = build_kernel, False
+        elif request.design in PAPER_COMBINATIONS:
+            build, combined = build_combined, True
+        else:
+            known = sorted({*KERNEL_BUILDERS, *PAPER_COMBINATIONS})
+            raise ServeError(
+                f"unknown design {request.design!r}; known: {known}"
+            )
+        token = design_cache_token(
+            request.design, request.variant, self.options.scale, combined
+        )
+        if token not in self._designs:
+            self._designs[token] = build(
+                request.design, scale=self.options.scale,
+                variant=request.variant,
+            )
+        return self._designs[token], token
+
+    def _extract_features(self, request: PredictRequest):
+        """(design, graph, nodes, X) for one unique (design, variant).
+
+        Runs only the HLS-prefix pipeline; stage artifacts are memoized
+        under the design token so repeated requests skip synthesis.
+        """
+        design, token = self._build_design(request)
+        ctx = self.pipeline.run(
+            design, self.device, self.options, cache_token=token,
+            persist=True,
+        )
+        extractor = FeatureExtractor(ctx.hls, ctx.graph, self.device)
+        nodes, X = extractor.extract_all()
+        # ctx.design, not the local build: on stage-cache hits the
+        # pipeline adopts the design the cached artifacts belong to.
+        return ctx.design, ctx.graph, nodes, X
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        """Answer one request (a batch of one)."""
+        return self.predict_batch([request])[0]
+
+    def predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[PredictResponse]:
+        """Answer many requests with one stacked model invocation."""
+        if not requests:
+            return []
+        start = time.perf_counter()
+        predictor = self.predictor
+        source = self._model_source
+
+        # one feature extraction per unique (design, variant)
+        groups: dict[tuple[str, str], list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault((request.design, request.variant), []).append(i)
+        extracted = {
+            key: self._extract_features(requests[idx[0]])
+            for key, idx in groups.items()
+        }
+
+        # one model invocation over the stacked feature matrix
+        order = list(extracted)
+        X_all = np.vstack([extracted[key][3] for key in order])
+        v_all, h_all = predictor.predict_matrix(X_all)
+
+        per_group: dict[tuple[str, str], tuple] = {}
+        offset = 0
+        for key in order:
+            design, graph, nodes, X = extracted[key]
+            v = v_all[offset:offset + len(nodes)]
+            h = h_all[offset:offset + len(nodes)]
+            offset += len(nodes)
+            regions = regions_from_predictions(design, graph, nodes, v, h)
+            regions.sort(key=lambda r: -r.average)
+            per_group[key] = (regions, len(nodes), float(v.max()),
+                              float(h.max()))
+
+        elapsed = time.perf_counter() - start
+        responses = []
+        for request in requests:
+            regions, n_ops, v_max, h_max = per_group[
+                (request.design, request.variant)
+            ]
+            responses.append(PredictResponse(
+                request=request,
+                regions=regions[:request.top],
+                n_operations=n_ops,
+                predicted_max_vertical=v_max,
+                predicted_max_horizontal=h_max,
+                model_source=source,
+                latency_seconds=elapsed / len(requests),
+                batch_size=len(requests),
+            ))
+        self._counters["predictions"] += len(requests)
+        if len(requests) > 1:
+            self._counters["batches"] += 1
+        return responses
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service + registry + stage-cache hit statistics."""
+        return {
+            **self._counters,
+            "model_source": self._model_source,
+            "registry": (
+                self.registry.stats() if self.registry is not None else None
+            ),
+            "stage_cache": cached_property_store("flow_stages").stats(),
+        }
+
+
+def measure_serving(
+    service: CongestionService, requests: list[PredictRequest]
+) -> dict:
+    """Time single-request vs batched serving of ``requests``.
+
+    One measurement protocol shared by ``python -m repro serve-demo``
+    and the perf harness (``run_bench.py --serve``) so the two can
+    never drift: prime the HLS-prefix stage cache first (both modes
+    measure prediction cost, not first-touch synthesis), then time a
+    per-request loop and one batched call.
+    """
+    service.predict_batch(requests)
+    latencies = []
+    start = time.perf_counter()
+    for request in requests:
+        response = service.predict(request)
+        latencies.append(response.latency_seconds)
+    single_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    service.predict_batch(requests)
+    batch_seconds = time.perf_counter() - start
+    return {
+        "latencies": sorted(latencies),
+        "single_seconds": single_seconds,
+        "batch_seconds": batch_seconds,
+    }

@@ -133,6 +133,48 @@ def _run_with_deep_stack(fn: Callable[[], object]):
     return outcome.get("value")
 
 
+def writer_tmp_path(path: str) -> str:
+    """Writer-unique temp name: pid alone is not enough — two threads
+    of one process saving the same path would interleave into a single
+    temp file and publish a corrupt pickle via ``os.replace``."""
+    return f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+
+
+def deep_pickle_dump(path: str, value) -> None:
+    """Atomically pickle ``value`` to ``path`` on a deep-stack thread.
+
+    Unlike :meth:`DiskCache.put` this is *not* best-effort: failures
+    propagate (the model registry must never report a save that did not
+    happen).
+    """
+
+    tmp = writer_tmp_path(path)
+
+    def dump():
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    try:
+        _run_with_deep_stack(dump)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def deep_pickle_load(path: str):
+    """Unpickle ``path`` on a deep-stack thread; failures propagate."""
+
+    def load():
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    return _run_with_deep_stack(load)
+
+
 class DiskCache:
     """Content-addressed pickle store keyed by hashed repr of the key.
 
@@ -172,7 +214,7 @@ class DiskCache:
 
     def put(self, key: Hashable, value) -> None:
         path = self.path_for(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = writer_tmp_path(path)
 
         def dump():
             with open(tmp, "wb") as fh:

@@ -7,6 +7,7 @@ from repro.dataset import build_paper_dataset
 from repro.flow import FlowOptions, run_flow
 from repro.util.cache import CACHE_DIR_ENV, KeyedCache
 import repro.flow.c_to_fpga as c_to_fpga
+import repro.flow.pipeline as pipeline_mod
 import repro.util.cache as cache_mod
 
 #: tiny scale so these flows cost ~a second each
@@ -16,7 +17,7 @@ OPTS = dict(scale=0.16, placement_effort="fast", seed=0)
 @pytest.fixture
 def fresh_stores(monkeypatch):
     """Swap the process-wide memo stores for empty ones (restored after)."""
-    for name in ("flow_results", "datasets"):
+    for name in ("flow_results", "flow_stages", "datasets"):
         monkeypatch.setitem(cache_mod._GLOBAL_STORES, name, KeyedCache())
 
 
@@ -50,7 +51,7 @@ def test_flow_disk_cache_survives_process_restart(
 
     for stage_fn in ("synthesize", "generate_netlist", "pack_netlist",
                      "place_netlist", "route_design"):
-        monkeypatch.setattr(c_to_fpga, stage_fn, boom)
+        monkeypatch.setattr(pipeline_mod, stage_fn, boom)
 
     second = run_flow("face_detection", "baseline", options=options)
     assert second.summary() == first.summary()

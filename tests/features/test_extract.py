@@ -6,7 +6,7 @@ from repro.features import FeatureExtractor, N_FEATURES, feature_index
 from repro.fpga import small_test_device
 from repro.graph import build_dependency_graph
 from repro.hls import synthesize
-from repro.ir import Function, I16, I32, IRBuilder, Module
+from repro.ir import Function, I16, IRBuilder, Module
 from tests.conftest import build_tiny_module
 
 

@@ -1,7 +1,4 @@
-import pytest
-
-from repro.flow import FlowOptions, run_flow
-from repro.util.cache import cached_property_store
+from repro.flow import run_flow
 
 
 def test_flow_result_summary(facedet_flow):

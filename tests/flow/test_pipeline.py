@@ -1,0 +1,220 @@
+"""The stage-pipeline API: partial runs, substitution, caching, keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    STAGE_ORDER,
+    FlowContext,
+    FlowOptions,
+    FlowPipeline,
+    FlowResult,
+    Stage,
+    StageRecord,
+    run_flow,
+    run_flow_on_design,
+)
+from repro.flow.pipeline import RouteStage
+from repro.impl.routing import RoutingOptions, route_design
+from repro.kernels.combos import build_kernel
+
+SCALE = 0.18
+
+
+def _options() -> FlowOptions:
+    return FlowOptions(scale=SCALE, placement_effort="fast", seed=0)
+
+
+def test_default_pipeline_order():
+    assert FlowPipeline.default().names == STAGE_ORDER
+
+
+def test_until_hls_runs_no_physical_stage():
+    design = build_kernel("face_detection", scale=SCALE)
+    ctx = FlowPipeline.default().run(design, options=_options(), until="hls")
+    assert ctx.completed_stages == ("hls",)
+    assert ctx.hls is not None
+    for artifact in ("netlist", "packing", "placement", "congestion",
+                     "timing", "graph", "labels"):
+        assert getattr(ctx, artifact) is None
+
+
+def test_until_place_skips_routing():
+    design = build_kernel("face_detection", scale=SCALE)
+    ctx = FlowPipeline.default().run(design, options=_options(),
+                                     until="place")
+    assert ctx.completed_stages == ("hls", "rtl", "pack", "place")
+    assert ctx.placement is not None
+    assert ctx.congestion is None
+
+
+def test_subset_graph_is_hls_prefix():
+    pipe = FlowPipeline.default().subset(["graph"])
+    assert pipe.names == ("hls", "graph")
+    design = build_kernel("face_detection", scale=SCALE)
+    ctx = pipe.run(design, options=_options())
+    assert ctx.graph is not None and ctx.placement is None
+
+
+def test_context_is_immutable():
+    design = build_kernel("face_detection", scale=SCALE)
+    ctx = FlowContext(design=design, device=None, options=_options())
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ctx.hls = "nope"
+    record = StageRecord("hls", 0.0)
+    new = ctx.with_output(record)
+    assert new is not ctx and new.records == (record,)
+    assert ctx.records == ()
+
+
+def test_context_require_raises_on_missing_artifact():
+    design = build_kernel("face_detection", scale=SCALE)
+    ctx = FlowContext(design=design, device=None, options=_options())
+    with pytest.raises(FlowError, match="placement"):
+        ctx.require("placement")
+
+
+def test_wrapper_equivalent_to_pipeline():
+    wrapped = run_flow_on_design(build_kernel("face_detection", scale=SCALE),
+                                 options=_options())
+    ctx = FlowPipeline.default().run(
+        build_kernel("face_detection", scale=SCALE), options=_options()
+    )
+    direct = FlowResult.from_context(ctx)
+    a, b = wrapped.summary(), direct.summary()
+    a.pop("flow_seconds"), b.pop("flow_seconds")
+    assert a == b
+
+
+class _MarkedRoute(RouteStage):
+    """Route with zero smear — distinguishable from the stock stage."""
+
+    def run(self, ctx):
+        return route_design(
+            ctx.require("netlist"), ctx.require("packing"),
+            ctx.require("placement"), ctx.device, RoutingOptions(smear=0),
+        )
+
+
+def test_stage_substitution():
+    design = build_kernel("face_detection", scale=SCALE)
+    stock = FlowPipeline.default().run(design, options=_options(),
+                                       until="route")
+    design2 = build_kernel("face_detection", scale=SCALE)
+    swapped = FlowPipeline.default().with_stage(_MarkedRoute()).run(
+        design2, options=_options(), until="route"
+    )
+    import numpy as np
+
+    assert not np.array_equal(swapped.congestion.v_demand,
+                              stock.congestion.v_demand)
+
+
+def test_stage_injection_observer():
+    seen = []
+
+    class Probe(Stage):
+        name = "probe"
+        requires = ("place",)
+        provides = ""
+
+        def run(self, ctx):
+            seen.append(ctx.require("placement"))
+
+    pipe = FlowPipeline.default().insert_after("place", Probe())
+    assert pipe.names.index("probe") == pipe.names.index("place") + 1
+    design = build_kernel("face_detection", scale=SCALE)
+    pipe.run(design, options=_options(), until="probe")
+    assert len(seen) == 1
+
+
+def test_pipeline_validation():
+    from repro.flow.pipeline import HLSStage
+
+    with pytest.raises(FlowError, match="duplicate"):
+        FlowPipeline([HLSStage(), HLSStage()])
+
+    class Orphan(Stage):
+        name = "orphan"
+        requires = ("place",)
+
+    with pytest.raises(FlowError, match="requires"):
+        FlowPipeline([Orphan()])
+    with pytest.raises(FlowError, match="unknown stage"):
+        FlowPipeline.default().until("nonsense")
+
+
+def test_stage_cache_shares_hls_across_option_tails():
+    """A routing-knob change re-runs routing onward but reuses the
+    prefix — the per-stage cache-key design goal."""
+    token = ("test-pipeline-cache", "face_detection", "baseline", SCALE)
+    pipe = FlowPipeline.default()
+
+    first = pipe.run(build_kernel("face_detection", scale=SCALE),
+                     options=_options(), until="route", cache_token=token)
+    assert all(not r.cached for r in first.records)
+
+    options2 = _options()
+    options2.routing = RoutingOptions(smear=2)
+    second = pipe.run(build_kernel("face_detection", scale=SCALE),
+                      options=options2, until="route", cache_token=token)
+    cached = {r.stage: r.cached for r in second.records}
+    assert cached == {"hls": True, "rtl": True, "pack": True,
+                      "place": True, "route": False}
+    # cache hits adopt the design instance the artifacts belong to
+    assert second.design is first.design
+    assert second.hls is first.hls
+
+
+def test_partial_run_persists_stages_across_processes(tmp_path, monkeypatch):
+    """persist=True writes stage artifacts to REPRO_CACHE_DIR so a
+    fresh process re-runs nothing of a partial run."""
+    import repro.util.cache as cache_mod
+    from repro.util.cache import CACHE_DIR_ENV, KeyedCache
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.setitem(cache_mod._GLOBAL_STORES, "flow_stages",
+                        KeyedCache())
+    monkeypatch.setitem(cache_mod._DISK_CACHES, str(tmp_path),
+                        cache_mod.DiskCache(str(tmp_path)))
+    token = ("test-persist", "face_detection", "baseline", SCALE)
+    pipe = FlowPipeline.default()
+
+    first = pipe.run(build_kernel("face_detection", scale=SCALE),
+                     options=_options(), until="pack", cache_token=token,
+                     persist=True)
+    assert all(not r.cached for r in first.records)
+
+    # "new process": empty in-memory stage store, same disk dir
+    monkeypatch.setitem(cache_mod._GLOBAL_STORES, "flow_stages",
+                        KeyedCache())
+    second = pipe.run(build_kernel("face_detection", scale=SCALE),
+                      options=_options(), until="pack", cache_token=token,
+                      persist=True)
+    assert all(r.cached for r in second.records)
+    assert second.packing is not None and second.placement is None
+
+
+def test_signature_stable_across_pipeline_shapes():
+    options = _options()
+    full = FlowPipeline.default()
+    prefix = full.subset(["graph"])
+    assert full.signature("graph", options) == prefix.signature(
+        "graph", options
+    )
+    assert full.signature("hls", options) == prefix.signature("hls", options)
+
+
+def test_routing_options_in_flow_cache_keys():
+    base = _options()
+    smeared = _options()
+    smeared.routing = RoutingOptions(smear=2)
+    assert base.cache_key("x", "y") != smeared.cache_key("x", "y")
+
+    a = run_flow("face_detection", "baseline", options=base)
+    b = run_flow("face_detection", "baseline", options=smeared)
+    assert a is not b
+    c = run_flow("face_detection", "baseline", options=_options())
+    assert c is a

@@ -3,9 +3,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import FeatureError
 from repro.graph import build_dependency_graph
-from repro.hls import Scheduler, bind_module, synthesize
-from repro.ir import Function, I16, I32, IRBuilder, Module
-from tests.conftest import build_tiny_module
+from repro.hls import synthesize
+from repro.ir import Function, I16, IRBuilder, Module
 
 
 def simple_graph():

@@ -4,15 +4,12 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import BindingError
 from repro.hls import (
     Binder,
-    ClockConstraint,
-    DirectiveSet,
     Scheduler,
     bind_module,
     generate_fsm,
     is_shareable,
     map_array,
     map_function_memories,
-    synthesize,
     DEFAULT_LIBRARY,
 )
 from repro.ir import ArrayDecl, ArrayType, Function, I16, I32, IRBuilder, Module

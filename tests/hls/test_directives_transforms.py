@@ -5,7 +5,6 @@ from repro.hls import DirectiveSet, apply_directives, inline_functions, unroll_l
 from repro.ir import (
     Function,
     I16,
-    I32,
     IRBuilder,
     IntType,
     Module,

@@ -7,7 +7,7 @@ from repro.hls.opchar import (
     OperatorLibrary,
     RESOURCE_KINDS,
 )
-from repro.ir import Function, I16, I32, IRBuilder, Module
+from repro.ir import Function, I16, IRBuilder, Module
 from repro.ir.opcodes import opcode_names
 
 

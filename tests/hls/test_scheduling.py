@@ -3,8 +3,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SchedulingError
 from repro.hls import ClockConstraint, Scheduler
-from repro.ir import Function, I16, I32, IRBuilder, IntType, Module
-from repro.util.rng import ensure_rng
+from repro.ir import Function, I16, I32, IRBuilder, Module
 
 
 def test_clock_constraint_validation():

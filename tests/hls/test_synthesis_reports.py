@@ -1,7 +1,5 @@
-import pytest
-
 from repro.hls import DirectiveSet, synthesize
-from repro.ir import Function, I16, I32, IRBuilder, IntType, Module
+from repro.ir import Function, I16, IRBuilder, IntType, Module
 from repro.ir.verify import verify_module
 
 

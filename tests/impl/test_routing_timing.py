@@ -7,9 +7,7 @@ from repro.impl import (
     CongestionMap,
     GlobalRouter,
     PlacementOptions,
-    RoutingOptions,
     TimingAnalyzer,
-    TimingParams,
     pack_netlist,
     place_netlist,
     route_design,

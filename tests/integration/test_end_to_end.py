@@ -1,10 +1,9 @@
 """End-to-end integration: the paper's complete loop on small scales."""
 
 import numpy as np
-import pytest
 
 from repro.dataset import dataset_from_flow
-from repro.flow import FlowOptions, run_flow
+from repro.flow import run_flow
 from repro.predict import CongestionPredictor, suggest_resolutions
 from repro.kernels import build_face_detection
 

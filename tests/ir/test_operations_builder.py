@@ -12,7 +12,6 @@ from repro.ir import (
     Operation,
     SourceLocation,
     Value,
-    int_type,
 )
 
 

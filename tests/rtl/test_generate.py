@@ -2,7 +2,7 @@ from collections import Counter
 
 from repro.hls import DirectiveSet, synthesize
 from repro.rtl import consumed_bits, generate_netlist
-from repro.ir import Function, I16, I32, IRBuilder, Module
+from repro.ir import Function, I32, IRBuilder, Module
 from tests.conftest import build_tiny_module
 
 

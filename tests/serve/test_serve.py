@@ -1,0 +1,258 @@
+"""Model registry persistence and the prediction service."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_paper_dataset
+from repro.errors import ModelRegistryError, ServeError, StaleModelError
+from repro.flow import FlowOptions
+from repro.fpga.device import small_test_device
+from repro.impl.routing import RoutingOptions
+from repro.predict import CongestionPredictor
+from repro.serve import (
+    CongestionService,
+    ModelRegistry,
+    PredictRequest,
+    dataset_spec_fingerprint,
+)
+
+SCALE = 0.18
+COMBOS = ("face_detection",)
+
+
+def _options() -> FlowOptions:
+    return FlowOptions(scale=SCALE, placement_effort="fast", seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One small linear predictor + the dataset it was trained on."""
+    dataset = build_paper_dataset(options=_options(), combos=COMBOS)
+    predictor = CongestionPredictor("linear").fit(dataset)
+    fingerprint = dataset_spec_fingerprint(COMBOS, _options())
+    return predictor, dataset, fingerprint
+
+
+# ----------------------------------------------------------------------
+# registry persistence
+# ----------------------------------------------------------------------
+def test_round_trip_predicts_bit_identically(tmp_path, trained):
+    predictor, dataset, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    manifest = registry.save(predictor, dataset_fingerprint=fingerprint)
+    assert manifest.n_training_samples > 0
+
+    loaded = registry.load("linear", fingerprint)
+    v0, h0 = predictor.predict_matrix(dataset.X)
+    v1, h1 = loaded.predict_matrix(dataset.X)
+    assert np.array_equal(v0, v1)
+    assert np.array_equal(h0, h1)
+
+
+def test_registry_rejects_device_fingerprint_mismatch(tmp_path, trained):
+    """A manifest whose recorded device fingerprint no longer matches
+    the slot's device (calibration drift under a persisted model) is
+    refused, never silently served."""
+    predictor, _, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+    path = registry.manifest_path("linear", fingerprint)
+    with open(path) as fh:
+        manifest = json.load(fh)
+    manifest["device_fingerprint"][-1] = 999  # h_tracks recalibrated
+    with open(path, "w") as fh:
+        json.dump(manifest, fh)
+    with pytest.raises(StaleModelError, match="device_fingerprint"):
+        registry.load("linear", fingerprint)
+    assert registry.stats()["stale"] == 1
+
+
+def test_registry_other_calibration_is_a_miss_not_stale(tmp_path, trained):
+    predictor, _, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+    with pytest.raises(ModelRegistryError, match="no persisted"):
+        registry.load("linear", fingerprint, device=small_test_device())
+    assert registry.stats()["stale"] == 0
+
+
+def test_registry_rejects_feature_registry_mismatch(tmp_path, trained):
+    predictor, _, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+    path = registry.manifest_path("linear", fingerprint)
+    with open(path) as fh:
+        manifest = json.load(fh)
+    manifest["feature_registry_hash"] = "0" * 64
+    with open(path, "w") as fh:
+        json.dump(manifest, fh)
+    with pytest.raises(StaleModelError, match="feature_registry_hash"):
+        registry.load("linear", fingerprint)
+
+
+def test_registry_slots_coexist_per_device(tmp_path, trained):
+    """Two device calibrations sharing one root keep separate slots —
+    neither save evicts the other."""
+    predictor, dataset, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+
+    other = CongestionPredictor("linear", small_test_device()).fit(dataset)
+    registry.save(other, dataset_fingerprint=fingerprint)
+
+    assert registry.stats()["entries"] == 2
+    a = registry.load("linear", fingerprint)  # default xc7z020
+    b = registry.load("linear", fingerprint, device=small_test_device())
+    assert a.device.name != b.device.name
+
+
+def test_registry_missing_model(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    with pytest.raises(ModelRegistryError, match="no persisted"):
+        registry.load("gbrt", "deadbeef")
+    assert registry.stats()["misses"] == 1
+
+
+def test_registry_refuses_unfitted_save(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    with pytest.raises(ModelRegistryError, match="unfitted"):
+        registry.save(CongestionPredictor("linear"),
+                      dataset_fingerprint="deadbeef")
+
+
+def test_registry_requires_root(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    with pytest.raises(ModelRegistryError, match="no registry root"):
+        ModelRegistry()
+
+
+def test_dataset_fingerprint_tracks_stage_options():
+    base = dataset_spec_fingerprint(COMBOS, _options())
+    assert base == dataset_spec_fingerprint(COMBOS, _options())
+    smeared = _options()
+    smeared.routing = RoutingOptions(smear=2)
+    assert dataset_spec_fingerprint(COMBOS, smeared) != base
+    assert dataset_spec_fingerprint(("bnn_render_flow",), _options()) != base
+
+
+# ----------------------------------------------------------------------
+# service
+# ----------------------------------------------------------------------
+def test_service_batch_equals_per_request():
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=None
+    )
+    requests = [
+        PredictRequest("face_detection"),
+        PredictRequest("spam_filter", top=3),
+        PredictRequest("face_detection", "no_directives"),
+    ]
+    singles = [service.predict(r) for r in requests]
+    batch = service.predict_batch(requests)
+    for single, batched in zip(singles, batch):
+        assert batched.batch_size == len(requests)
+        assert single.n_operations == batched.n_operations
+        assert single.predicted_max_vertical == batched.predicted_max_vertical
+        assert [
+            (r.source_file, r.source_line, r.vertical, r.horizontal)
+            for r in single.regions
+        ] == [
+            (r.source_file, r.source_line, r.vertical, r.horizontal)
+            for r in batched.regions
+        ]
+    stats = service.stats()
+    assert stats["trained"] == 1
+    assert stats["predictions"] == 2 * len(requests)
+
+
+def test_service_second_instance_loads_from_registry(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    first = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=registry
+    )
+    assert first.warm() == "trained"
+    r1 = first.predict(PredictRequest("face_detection"))
+
+    second = CongestionService(
+        "linear", options=_options(), combos=COMBOS,
+        registry=ModelRegistry(str(tmp_path)),
+    )
+    assert second.warm() == "registry"
+    assert second.warm() == "memory"
+    r2 = second.predict(PredictRequest("face_detection"))
+    assert second.stats()["trained"] == 0
+    assert r1.predicted_max_vertical == r2.predicted_max_vertical
+    assert [(r.source_line, r.vertical) for r in r1.regions] == [
+        (r.source_line, r.vertical) for r in r2.regions
+    ]
+
+
+def test_service_answers_from_registry_in_second_process(tmp_path):
+    """The acceptance path: a *separate process* loads the persisted
+    model (never retrains) and predicts identically."""
+    registry = ModelRegistry(str(tmp_path / "models"))
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=registry
+    )
+    service.warm()
+    local = service.predict(PredictRequest("face_detection"))
+
+    script = (
+        "import json, sys\n"
+        "from repro.flow import FlowOptions\n"
+        "from repro.serve import (CongestionService, ModelRegistry,\n"
+        "                         PredictRequest)\n"
+        f"registry = ModelRegistry({str(tmp_path / 'models')!r})\n"
+        "service = CongestionService(\n"
+        f"    'linear', options=FlowOptions(scale={SCALE},\n"
+        "    placement_effort='fast', seed=0),\n"
+        f"    combos={COMBOS!r}, registry=registry)\n"
+        "source = service.warm()\n"
+        "response = service.predict(PredictRequest('face_detection'))\n"
+        "print(json.dumps({\n"
+        "    'source': source,\n"
+        "    'trained': service.stats()['trained'],\n"
+        "    'v': response.predicted_max_vertical,\n"
+        "    'h': response.predicted_max_horizontal,\n"
+        "    'regions': [[r.source_line, r.vertical, r.horizontal]\n"
+        "                for r in response.regions],\n"
+        "}))\n"
+    )
+    env = dict(os.environ)
+    src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src_root) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    remote = json.loads(out.stdout.strip().splitlines()[-1])
+    assert remote["source"] == "registry"
+    assert remote["trained"] == 0
+    assert remote["v"] == local.predicted_max_vertical
+    assert remote["h"] == local.predicted_max_horizontal
+    assert remote["regions"] == [
+        [r.source_line, r.vertical, r.horizontal] for r in local.regions
+    ]
+
+
+def test_service_rejects_unknown_design():
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=None
+    )
+    with pytest.raises(ServeError, match="unknown design"):
+        service.predict_batch([PredictRequest("not_a_design")])
+
+
+def test_service_empty_batch():
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=None
+    )
+    assert service.predict_batch([]) == []

@@ -38,3 +38,38 @@ def test_cli_predict(capsys):
 def test_cli_rejects_unknown_design():
     with pytest.raises(SystemExit):
         main(["flow", "unknown_design"])
+
+
+def test_cli_flow_until_skips_physical_stages(capsys):
+    code = main(["flow", "face_detection", "--scale", "0.18",
+                 "--until", "hls"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "until=hls" in out
+    assert "skipped stages: rtl, pack, place, route" in out
+
+
+def test_cli_error_exits_nonzero(capsys):
+    code = main(["flow", "face_detection", "--scale", "0.18",
+                 "--variant", "bogus"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "unknown variant" in err
+
+
+def test_cli_serve_demo_with_registry(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    args = ["serve-demo", "--scale", "0.18", "--requests", "3",
+            "--model", "linear", "--cache-dir", str(tmp_path)]
+    code = main(args)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "model ready from 'trained'" in out
+    assert "batched:" in out and "p99" in out
+
+    # a second invocation must load the persisted model, not retrain
+    code = main(args)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "model ready from 'memory'" not in out
+    assert "model ready from 'registry'" in out

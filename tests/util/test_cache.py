@@ -2,7 +2,6 @@
 
 import concurrent.futures
 import os
-import pickle
 import threading
 
 from repro.util.cache import (
