@@ -1,14 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test lint bench bench-serve help
+.PHONY: verify test lint bench bench-serve bench-features help
 
 help:
-	@echo "make verify      - tier-1 gate: full test + benchmark suite (-x -q)"
-	@echo "make test        - fast tier: unit/integration tests only"
-	@echo "make lint        - ruff check (syntax + pyflakes rules)"
-	@echo "make bench       - time flow stages, write benchmarks/out/BENCH_flow.json"
-	@echo "make bench-serve - serving bench, write benchmarks/out/BENCH_serve.json"
+	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
+	@echo "make test           - fast tier: unit/integration tests only"
+	@echo "make lint           - ruff check (syntax + pyflakes rules)"
+	@echo "make bench          - time flow stages, write benchmarks/out/BENCH_flow.json"
+	@echo "make bench-serve    - serving bench, write benchmarks/out/BENCH_serve.json"
+	@echo "make bench-features - feature-extraction bench, write benchmarks/out/BENCH_features.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -28,3 +29,6 @@ bench:
 
 bench-serve:
 	$(PYTHON) benchmarks/perf/run_bench.py --serve
+
+bench-features:
+	$(PYTHON) benchmarks/perf/run_bench.py --features --repeat 3

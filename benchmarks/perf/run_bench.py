@@ -8,6 +8,8 @@ directly (or via ``make bench``):
     PYTHONPATH=src python benchmarks/perf/run_bench.py
     PYTHONPATH=src python benchmarks/perf/run_bench.py --scale 0.5 --repeat 3
     PYTHONPATH=src python benchmarks/perf/run_bench.py --with-reference
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --serve
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --features
 
 The JSON layout is::
 
@@ -143,29 +145,154 @@ def bench_serve(scale: float, seed: int, effort: str,
     }
 
 
+def bench_features(scale: float, repeat: int) -> dict:
+    """Feature-extraction benchmark: the vectorized whole-graph engine
+    vs the pinned per-node reference, on the paper combos (HLS prefix
+    only — no place-and-route is needed to extract features).
+
+    ``vectorized_cold`` times the HLS-side snapshot compilation +
+    matrix extraction over an already-frozen graph — the production
+    stage boundary: ``build_dependency_graph`` ends with ``freeze()``,
+    so the CSR structure is built once by the graph stage and every
+    extractor (reference or vectorized) starts from a frozen graph.
+    ``warm`` times a repeat extraction over the same snapshot (the
+    serving steady state, a memo hit).  Equivalence vs the reference is
+    asserted at <= 1e-9 before anything is written.
+    """
+    import numpy as np
+
+    from repro.features import FeatureExtractor, ReferenceFeatureExtractor
+    from repro.fpga import xc7z020
+    from repro.graph import build_dependency_graph
+    from repro.hls import synthesize
+    from repro.kernels.combos import build_combined
+
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+
+    device = xc7z020()
+    combos: dict[str, dict] = {}
+    for name in COMBOS:
+        design = build_combined(name, scale=scale)
+        hls = synthesize(design.module, design.directives)
+
+        t_ref = t_cold = t_warm = float("inf")
+        max_diff = 0.0
+        n_ops = n_nodes = n_edges = 0
+        for _ in range(repeat):
+            graph = build_dependency_graph(design.module, hls.bindings)
+            n_nodes, n_edges = graph.n_nodes(), graph.n_edges()
+
+            start = time.perf_counter()
+            ref_nodes, ref_X = ReferenceFeatureExtractor(
+                hls, graph, device
+            ).extract_all()
+            t_ref = min(t_ref, time.perf_counter() - start)
+
+            # fresh graph: cold = snapshot compile + whole-graph extract
+            graph = build_dependency_graph(design.module, hls.bindings)
+            start = time.perf_counter()
+            extractor = FeatureExtractor(hls, graph, device)
+            vec_nodes, vec_X = extractor.extract_all()
+            t_cold = min(t_cold, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            extractor.extract_all()
+            t_warm = min(t_warm, time.perf_counter() - start)
+
+            if vec_nodes != ref_nodes:
+                raise RuntimeError(
+                    f"vectorized extraction returned different node "
+                    f"ordering than the reference on {name}"
+                )
+            max_diff = max(max_diff, float(np.abs(vec_X - ref_X).max()))
+            n_ops = len(vec_nodes)
+
+        if max_diff > 1e-9:
+            raise RuntimeError(
+                f"vectorized extraction diverged from the reference on "
+                f"{name}: max |diff| = {max_diff:g} > 1e-9"
+            )
+        combos[name] = {
+            "n_nodes": n_nodes,
+            "n_edges": n_edges,
+            "n_ops": n_ops,
+            "reference_seconds": round(t_ref, 6),
+            "vectorized_cold_seconds": round(t_cold, 6),
+            "vectorized_warm_seconds": round(t_warm, 6),
+            "speedup_cold": round(t_ref / max(t_cold, 1e-9), 2),
+            "nodes_per_s_reference": round(n_ops / max(t_ref, 1e-9), 1),
+            "nodes_per_s_vectorized": round(n_ops / max(t_cold, 1e-9), 1),
+            "max_abs_diff": max_diff,
+        }
+
+    total_ref = sum(c["reference_seconds"] for c in combos.values())
+    total_cold = sum(c["vectorized_cold_seconds"] for c in combos.values())
+    total_ops = sum(c["n_ops"] for c in combos.values())
+    return {
+        "combos": combos,
+        "totals": {
+            "n_ops": total_ops,
+            "reference_seconds": round(total_ref, 6),
+            "vectorized_cold_seconds": round(total_cold, 6),
+            "speedup_cold": round(total_ref / max(total_cold, 1e-9), 2),
+            "nodes_per_s_vectorized": round(
+                total_ops / max(total_cold, 1e-9), 1
+            ),
+        },
+    }
+
+
 def bench(scale: float, seed: int, effort: str, repeat: int,
           with_reference: bool = False) -> dict:
+    import shutil
+    import tempfile
+
     from repro.flow import FlowOptions, run_flow
     from repro.util.cache import cached_property_store
 
-    combos: dict[str, dict[str, float]] = {}
-    for name in COMBOS:
-        best: dict[str, float] = {}
-        for _ in range(repeat):
-            cached_property_store("flow_results").clear()
-            options = FlowOptions(
-                scale=scale, seed=seed, placement_effort=effort
-            )
-            result = run_flow(name, "baseline", options=options,
-                              use_cache=False)
-            for stage, seconds in result.stage_seconds.items():
-                if stage not in best or seconds < best[stage]:
-                    best[stage] = seconds
-        combos[name] = {s: round(best.get(s, 0.0), 6) for s in STAGES}
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+
+    # The timed flows must be COLD: a bench process inheriting a warm
+    # REPRO_CACHE_DIR would record ~0s cache-hit "timings" for every
+    # stage (that is exactly how a broken all-zero BENCH_flow.json once
+    # got committed).  Point the disk cache at a fresh throwaway
+    # directory for the duration and clear the in-memory store per run.
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-flow-")
+    saved_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    try:
+        combos: dict[str, dict[str, float]] = {}
+        for name in COMBOS:
+            best: dict[str, float] = {}
+            for _ in range(repeat):
+                cached_property_store("flow_results").clear()
+                cached_property_store("flow_stages").clear()
+                options = FlowOptions(
+                    scale=scale, seed=seed, placement_effort=effort
+                )
+                result = run_flow(name, "baseline", options=options,
+                                  use_cache=False)
+                for stage, seconds in result.stage_seconds.items():
+                    if stage not in best or seconds < best[stage]:
+                        best[stage] = seconds
+            combos[name] = {s: round(best.get(s, 0.0), 6) for s in STAGES}
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_env
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
     totals = {s: round(sum(c[s] for c in combos.values()), 6) for s in STAGES}
     totals["place+route"] = round(totals["place"] + totals["route"], 6)
     totals["flow"] = round(sum(totals[s] for s in STAGES), 6)
+    if totals["flow"] <= 0.0:
+        raise RuntimeError(
+            "flow bench measured 0.0s total — stages ran cache-warm or "
+            "never ran; refusing to write a meaningless BENCH_flow.json"
+        )
     reference = (
         _reference_place_route(scale, seed, effort, repeat)
         if with_reference else None
@@ -205,6 +332,9 @@ def main(argv=None) -> int:
     parser.add_argument("--serve", action="store_true",
                         help="benchmark the serving layer instead of the "
                              "flow; writes BENCH_serve.json")
+    parser.add_argument("--features", action="store_true",
+                        help="benchmark feature extraction (vectorized vs "
+                             "reference); writes BENCH_features.json")
     parser.add_argument("--requests", type=int, default=24,
                         help="prediction requests for --serve")
     parser.add_argument("--model", default="gbrt",
@@ -216,12 +346,27 @@ def main(argv=None) -> int:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
+    if args.serve and args.features:
+        parser.error("--serve and --features are mutually exclusive")
     if args.out is None:
-        name = "BENCH_serve.json" if args.serve else "BENCH_flow.json"
+        name = ("BENCH_serve.json" if args.serve
+                else "BENCH_features.json" if args.features
+                else "BENCH_flow.json")
         args.out = os.path.join(os.path.dirname(__file__), os.pardir,
                                 "out", name)
 
-    if args.serve:
+    if args.features:
+        report = {
+            "meta": {
+                "scale": args.scale,
+                "repeat": args.repeat,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+            **bench_features(args.scale, args.repeat),
+        }
+    elif args.serve:
         meta = {
             "scale": args.scale,
             "seed": args.seed,
@@ -245,6 +390,19 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"wrote {out}")
+    if args.features:
+        for name, stats in report["combos"].items():
+            print(f"{name:18s} ref={stats['reference_seconds']:.3f}s  "
+                  f"vec={stats['vectorized_cold_seconds']:.4f}s "
+                  f"({stats['speedup_cold']}x)  "
+                  f"warm={stats['vectorized_warm_seconds']*1e6:.0f}us  "
+                  f"maxdiff={stats['max_abs_diff']:.2e}")
+        totals = report["totals"]
+        print(f"totals: ref={totals['reference_seconds']:.3f}s "
+              f"vec={totals['vectorized_cold_seconds']:.3f}s "
+              f"speedup={totals['speedup_cold']}x "
+              f"({totals['nodes_per_s_vectorized']:.0f} nodes/s)")
+        return 0
     if args.serve:
         cold = report["cold_train_and_save"]
         warm = report["warm_registry_load"]

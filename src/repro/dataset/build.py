@@ -172,7 +172,7 @@ def dataset_from_flow(result: FlowResult) -> CongestionDataset:
         labels = result.labels.by_op.get(rep_uid, [])
         if not labels:
             continue
-        op = module.find_op(rep_uid)
+        op = module.op_by_uid(rep_uid)
         for label in labels:
             rows.append(row)
             y_v.append(label.vertical)

@@ -2,26 +2,34 @@
 
 from repro.features.registry import (
     FeatureCategory,
+    FeatureIndexTables,
     FeatureSpec,
     FEATURES,
+    INDEX_TABLES,
     N_FEATURES,
     feature_names,
     feature_index,
     features_in_category,
     category_counts,
     category_indices,
+    index_tables,
 )
 from repro.features.extract import FeatureExtractor
+from repro.features._reference import ReferenceFeatureExtractor
 
 __all__ = [
     "FeatureCategory",
+    "FeatureIndexTables",
     "FeatureSpec",
     "FEATURES",
+    "INDEX_TABLES",
     "N_FEATURES",
     "feature_names",
     "feature_index",
     "features_in_category",
     "category_counts",
     "category_indices",
+    "index_tables",
     "FeatureExtractor",
+    "ReferenceFeatureExtractor",
 ]

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from repro.errors import FeatureError
 from repro.hls.opchar import RESOURCE_KINDS
 from repro.ir.opcodes import opcode_names
@@ -210,6 +212,148 @@ def feature_index(name: str) -> int:
     if name not in _INDEX_BY_NAME:
         raise FeatureError(f"unknown feature {name!r}")
     return _INDEX_BY_NAME[name]
+
+
+@dataclass(frozen=True)
+class FeatureIndexTables:
+    """Precomputed name->index lookups for the hot extraction path.
+
+    The vectorized extractor writes whole columns at once; composing
+    ``f"res_{kind}_{hop}_{metric}"`` strings per call (let alone per
+    node) is pure overhead, so every index the extractor needs is
+    resolved exactly once at import time.  The layout mirrors the
+    registry construction loops:
+
+    * ``ic[hop][metric]`` — interconnection features;
+    * ``res_self[kind][metric]`` / ``res_hop[kind][hop][metric]`` —
+      resource features, ``kind`` in lower case (``lut``/``ff``/...);
+    * ``rdt[kind][hop][metric]`` — #Resource/ΔTcs features;
+    * ``timing[metric]`` and ``global_info[metric]`` — flat maps
+      (global metrics keyed without the ``global_`` prefix);
+    * ``optype_is_base`` / ``optype_neigh_base`` — first column of the
+      two contiguous 56-opcode blocks (one-hot and neighbour counts);
+    * ``g_*`` — NumPy index arrays over the global block, grouped so a
+      whole per-resource-kind (or per-clock/mem/mux field) column set is
+      written with one fancy-indexed assignment.  ``g_latency`` orders
+      (ftop_latency, fop_latency, fop_latency_pct_of_top).
+    """
+
+    bitwidth: int
+    ic: dict[str, dict[str, int]]
+    res_self: dict[str, dict[str, int]]
+    res_hop: dict[str, dict[str, dict[str, int]]]
+    rdt: dict[str, dict[str, dict[str, int]]]
+    timing: dict[str, int]
+    optype_is_base: int
+    optype_neigh_base: int
+    global_info: dict[str, int]
+    #: grouped index arrays over the global block (RESOURCE_KINDS order)
+    g_ftop_res: np.ndarray
+    g_ftop_res_util: np.ndarray
+    g_fop_res: np.ndarray
+    g_fop_res_util: np.ndarray
+    g_fop_res_pct: np.ndarray
+    #: (target, uncertainty, estimated) clock triples
+    g_ftop_clocks: np.ndarray
+    g_fop_clocks: np.ndarray
+    #: (ftop_latency, fop_latency, fop_latency_pct_of_top)
+    g_latency: np.ndarray
+    #: (words, banks, bits, primitives)
+    g_ftop_mem: np.ndarray
+    g_fop_mem: np.ndarray
+    #: (count, lut, mean_inputs, mean_bitwidth)
+    g_ftop_mux: np.ndarray
+    g_fop_mux: np.ndarray
+
+
+def _build_index_tables() -> FeatureIndexTables:
+    idx = _INDEX_BY_NAME
+    hops = ("1hop", "2hop")
+    kinds = tuple(kind.lower() for kind in RESOURCE_KINDS)
+    first_opcode = opcode_names()[0]
+    return FeatureIndexTables(
+        bitwidth=idx["bitwidth"],
+        ic={
+            hop: {m: idx[f"ic_{hop}_{m}"] for m in _INTERCONNECTION_METRICS}
+            for hop in hops
+        },
+        res_self={
+            k: {m: idx[f"res_{k}_{m}"] for m in _RESOURCE_SELF_METRICS}
+            for k in kinds
+        },
+        res_hop={
+            k: {
+                hop: {
+                    m: idx[f"res_{k}_{hop}_{m}"]
+                    for m in _RESOURCE_HOP_METRICS
+                }
+                for hop in hops
+            }
+            for k in kinds
+        },
+        rdt={
+            k: {
+                hop: {
+                    m: idx[f"rdt_{k}_{hop}_{m}"]
+                    for m in _RESOURCE_DT_HOP_METRICS
+                }
+                for hop in hops
+            }
+            for k in kinds
+        },
+        timing={m: idx[f"timing_{m}"] for m in _TIMING_METRICS},
+        optype_is_base=idx[f"optype_is_{first_opcode}"],
+        optype_neigh_base=idx[f"optype_neigh_{first_opcode}"],
+        global_info={m: idx[f"global_{m}"] for m in _GLOBAL_METRICS},
+        g_ftop_res=_gidx([f"ftop_{k}" for k in kinds]),
+        g_ftop_res_util=_gidx([f"ftop_{k}_util" for k in kinds]),
+        g_fop_res=_gidx([f"fop_{k}" for k in kinds]),
+        g_fop_res_util=_gidx([f"fop_{k}_util" for k in kinds]),
+        g_fop_res_pct=_gidx([f"fop_{k}_pct_of_top" for k in kinds]),
+        g_ftop_clocks=_gidx([
+            "ftop_target_clock_ns", "ftop_clock_uncertainty_ns",
+            "ftop_estimated_clock_ns",
+        ]),
+        g_fop_clocks=_gidx([
+            "fop_target_clock_ns", "fop_clock_uncertainty_ns",
+            "fop_estimated_clock_ns",
+        ]),
+        g_latency=_gidx([
+            "ftop_latency", "fop_latency", "fop_latency_pct_of_top",
+        ]),
+        g_ftop_mem=_gidx([
+            "ftop_mem_words", "ftop_mem_banks", "ftop_mem_bits",
+            "ftop_mem_primitives",
+        ]),
+        g_fop_mem=_gidx([
+            "fop_mem_words", "fop_mem_banks", "fop_mem_bits",
+            "fop_mem_primitives",
+        ]),
+        g_ftop_mux=_gidx([
+            "ftop_mux_count", "ftop_mux_lut", "ftop_mux_mean_inputs",
+            "ftop_mux_mean_bitwidth",
+        ]),
+        g_fop_mux=_gidx([
+            "fop_mux_count", "fop_mux_lut", "fop_mux_mean_inputs",
+            "fop_mux_mean_bitwidth",
+        ]),
+    )
+
+
+def _gidx(metrics) -> np.ndarray:
+    """Index array over the global block for ``metrics`` names."""
+    return np.array(
+        [_INDEX_BY_NAME[f"global_{m}"] for m in metrics], dtype=np.int64
+    )
+
+
+#: Singleton index tables, resolved once at import.
+INDEX_TABLES: FeatureIndexTables = _build_index_tables()
+
+
+def index_tables() -> FeatureIndexTables:
+    """The precomputed :class:`FeatureIndexTables` singleton."""
+    return INDEX_TABLES
 
 
 def features_in_category(category: FeatureCategory) -> tuple[FeatureSpec, ...]:

@@ -36,6 +36,7 @@ from repro.backtrace.trace import BacktraceResult, Backtracer
 from repro.errors import FlowError
 from repro.fpga.device import Device, device_fingerprint, xc7z020
 from repro.graph.depgraph import DependencyGraph, build_dependency_graph
+from repro.graph.snapshot import compile_snapshot
 from repro.hls.scheduling import ClockConstraint
 from repro.hls.synthesis import HLSResult, synthesize
 from repro.impl.packing import Packing, pack_netlist
@@ -268,11 +269,17 @@ class GraphStage(Stage):
 
     def run(self, ctx: FlowContext) -> DependencyGraph:
         hls = ctx.require("hls")
-        return build_dependency_graph(
+        graph = build_dependency_graph(
             ctx.design.module,
             hls.bindings if ctx.options.merge_shared else None,
             merge_shared=ctx.options.merge_shared,
         )
+        # Pre-compile the frozen feature snapshot against this HLS
+        # result: every downstream extraction (dataset assembly,
+        # prediction, serving) then starts from flat NumPy arrays
+        # instead of re-walking networkx dictionaries.
+        compile_snapshot(graph, hls)
+        return graph
 
 
 class BacktraceStage(Stage):

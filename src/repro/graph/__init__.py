@@ -5,5 +5,17 @@ from repro.graph.depgraph import (
     DependencyGraph,
     build_dependency_graph,
 )
+from repro.graph.snapshot import (
+    GraphSnapshot,
+    GraphStructure,
+    compile_snapshot,
+)
 
-__all__ = ["NodeInfo", "DependencyGraph", "build_dependency_graph"]
+__all__ = [
+    "NodeInfo",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "GraphSnapshot",
+    "GraphStructure",
+    "compile_snapshot",
+]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.errors import FeatureError
+from repro.graph.snapshot import GraphStructure, structure_from_graph
 from repro.hls.binding import FunctionBinding
 from repro.ir.module import Module
 from repro.ir.operation import Operation
@@ -53,14 +54,48 @@ class DependencyGraph:
         self.g = nx.DiGraph()
         self.node_of_op: dict[int, int] = {}
         self._next_id = 0
+        # Mutations bump ``_version``; derived views (undirected graph,
+        # CSR structure, feature snapshot) remember the version they
+        # were built at and rebuild lazily when stale.  Construction
+        # therefore never pays per-call invalidation work — ``freeze()``
+        # builds everything once when the graph is complete.
+        self._version = 0
         self._undirected_cache: nx.Graph | None = None
+        self._undirected_version = -1
+        self._structure: GraphStructure | None = None
+        self._structure_version = -1
+        #: (version, hls, GraphSnapshot) written by compile_snapshot
+        self._snapshot_slot: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # pickling: derived caches are either bulky (the undirected copy)
+    # or hold foreign objects (the snapshot slot keeps the HLSResult it
+    # was compiled against alive); both rebuild cheaply, so neither
+    # rides along in flow/stage cache pickles.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_undirected_cache"] = None
+        state["_undirected_version"] = -1
+        state["_snapshot_slot"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # defaults for pickles written before the snapshot engine
+        self.__dict__.setdefault("_version", 0)
+        self.__dict__.setdefault("_undirected_cache", None)
+        self.__dict__.setdefault("_undirected_version", -1)
+        self.__dict__.setdefault("_structure", None)
+        self.__dict__.setdefault("_structure_version", -1)
+        self.__dict__.setdefault("_snapshot_slot", None)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def _new_node(self, info: NodeInfo) -> int:
         self.g.add_node(info.node_id, info=info)
-        self._undirected_cache = None
+        self._version += 1
         return info.node_id
 
     def add_op_node(self, op: Operation) -> int:
@@ -101,7 +136,43 @@ class DependencyGraph:
             self.g[src][dst]["count"] += 1
         else:
             self.g.add_edge(src, dst, weight=wires, count=1)
-        self._undirected_cache = None
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # freezing / derived views
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; derived views are valid for one version."""
+        return self._version
+
+    def freeze(self) -> "DependencyGraph":
+        """Build-complete hook: construct the CSR
+        :class:`~repro.graph.snapshot.GraphStructure` once.
+
+        The undirected networkx copy is NOT built here — only the
+        pinned per-node reference path (``two_hop_neighborhood``) reads
+        it, and it materializes lazily on first use; production
+        consumers read the CSR structure.  Idempotent; further mutation
+        is still allowed (derived views rebuild lazily), but the
+        intended protocol is build -> freeze -> query.
+        :func:`build_dependency_graph` calls this before returning."""
+        self.structure()
+        return self
+
+    def _undirected(self) -> nx.Graph:
+        if (self._undirected_cache is None
+                or self._undirected_version != self._version):
+            self._undirected_cache = self.g.to_undirected(as_view=False)
+            self._undirected_version = self._version
+        return self._undirected_cache
+
+    def structure(self) -> GraphStructure:
+        """The frozen CSR compilation of this graph (lazily rebuilt)."""
+        if self._structure is None or self._structure_version != self._version:
+            self._structure = structure_from_graph(self)
+            self._structure_version = self._version
+        return self._structure
 
     # ------------------------------------------------------------------
     # queries
@@ -152,9 +223,7 @@ class DependencyGraph:
 
     def two_hop_neighborhood(self, node_id: int) -> set[int]:
         """Nodes within two undirected hops (excluding the node itself)."""
-        if self._undirected_cache is None:
-            self._undirected_cache = self.g.to_undirected(as_view=False)
-        und = self._undirected_cache
+        und = self._undirected()
         result: set[int] = set()
         for n1 in und.neighbors(node_id):
             result.add(n1)
@@ -201,7 +270,7 @@ class DependencyGraph:
         self.g.nodes[keep]["info"] = new_info
         for uid in merged_uids:
             self.node_of_op[uid] = keep
-        self._undirected_cache = None
+        self._version += 1
         return keep
 
 
@@ -289,4 +358,4 @@ def build_dependency_graph(
                 if len(nodes) > 1:
                     graph.merge_nodes(nodes)
 
-    return graph
+    return graph.freeze()

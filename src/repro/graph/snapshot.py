@@ -1,0 +1,362 @@
+"""Frozen NumPy compilation of the dependency graph.
+
+The per-request hot path of the prediction phase is computing the
+302-entry feature vectors (paper Section III-B) for every operation
+node.  Doing that over networkx dictionaries costs a Python-level loop
+per node and per edge; this module compiles the graph once into flat
+NumPy arrays so feature extraction becomes whole-graph batch math:
+
+* :class:`GraphStructure` — the HLS-independent skeleton: node order,
+  port mask, opcode/bitwidth/function-id vectors and CSR in/out/undirected
+  adjacency with wire weights.  Built by ``DependencyGraph.freeze()``
+  (or lazily on first use) and cached until the graph mutates.
+* :class:`GraphSnapshot` — the structure plus everything feature
+  extraction reads from the HLS result: the per-node resource matrix
+  ``[n, 4]``, operator delay/latency vectors, per-edge ΔTcs and the
+  per-function report tables behind the global-information features.
+  Compiled by :func:`compile_snapshot` and memoized on the graph per
+  (graph version, HLS result) pair.
+
+All arrays index nodes by *row* (position in ``node_ids``), never by the
+original graph node id — ids are non-contiguous after Fig.-4 merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.hls.opchar import RESOURCE_KINDS
+from repro.ir.opcodes import opcode_index
+
+
+@dataclass(frozen=True, eq=False)
+class GraphStructure:
+    """CSR skeleton of a frozen dependency graph (no HLS inputs).
+
+    ``eq=False``: identity comparison/hashing — an auto-generated
+    ``__eq__`` over ndarray fields would raise on comparison.
+    """
+
+    n: int
+    #: original node ids in graph insertion order (row -> id)
+    node_ids: np.ndarray
+    #: node id -> row
+    row_of: dict
+    is_port: np.ndarray          # bool [n]
+    op_rows: np.ndarray          # int [n_ops], rows of op nodes in order
+    opcode_id: np.ndarray        # int [n], -1 for port nodes
+    bitwidth: np.ndarray         # float [n], 0 for port nodes
+    rep_uid: np.ndarray          # int [n], representative op uid, -1 ports
+    func_names: tuple
+    func_id: np.ndarray          # int [n]
+    #: directed edges (rows) with wire-count weights, insertion order
+    e_src: np.ndarray
+    e_dst: np.ndarray
+    e_w: np.ndarray              # float [E]
+    #: out-adjacency CSR: edges with src == i are
+    #: ``out_edge[out_indptr[i]:out_indptr[i+1]]`` (edge indices)
+    out_indptr: np.ndarray
+    out_edge: np.ndarray
+    #: in-adjacency CSR over edge indices, grouped by dst
+    in_indptr: np.ndarray
+    in_edge: np.ndarray
+    #: unique undirected neighbours CSR (rows)
+    und_indptr: np.ndarray
+    und_nbr: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.e_src)
+
+    def out_counts(self) -> np.ndarray:
+        return self.out_indptr[1:] - self.out_indptr[:-1]
+
+    def in_counts(self) -> np.ndarray:
+        return self.in_indptr[1:] - self.in_indptr[:-1]
+
+    def und_counts(self) -> np.ndarray:
+        return self.und_indptr[1:] - self.und_indptr[:-1]
+
+
+def _csr_from_groups(groups: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """(indptr, order) grouping ``arange(len(groups))`` by ``groups``."""
+    counts = np.bincount(groups, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(groups, kind="stable")
+    return indptr, order
+
+
+def dedup_sorted_keys(key: np.ndarray) -> np.ndarray:
+    """Sort ``key`` in place and drop duplicates.
+
+    One in-place sort plus an adjacent-difference pass — an order of
+    magnitude faster than ``np.unique``'s integer hash path at the
+    packed-pair-key sizes the graph/feature layers produce.  Shared by
+    :func:`structure_from_graph` and the extraction engine's set-union
+    dedup (``repro.features.extract``).
+    """
+    if len(key):
+        key.sort()
+        keep = np.empty(len(key), dtype=bool)
+        keep[0] = True
+        np.not_equal(key[1:], key[:-1], out=keep[1:])
+        key = key[keep]
+    return key
+
+
+def structure_from_graph(graph) -> GraphStructure:
+    """Compile ``graph`` (a :class:`~repro.graph.depgraph.DependencyGraph`)
+    into a :class:`GraphStructure`.  One O(n + E) Python pass — the only
+    one the fast feature path ever takes."""
+    g = graph.g
+    n = g.number_of_nodes()
+    node_ids = np.empty(n, dtype=np.int64)
+    is_port = np.zeros(n, dtype=bool)
+    opcode_id = np.full(n, -1, dtype=np.int64)
+    bitwidth = np.zeros(n, dtype=np.float64)
+    rep_uid = np.full(n, -1, dtype=np.int64)
+    func_id = np.zeros(n, dtype=np.int64)
+    row_of: dict = {}
+    fid_of: dict = {}
+    func_names: list = []
+
+    for i, (nid, info) in enumerate(g.nodes(data="info")):
+        node_ids[i] = nid
+        row_of[nid] = i
+        fname = info.function
+        fid = fid_of.get(fname)
+        if fid is None:
+            fid = fid_of[fname] = len(func_names)
+            func_names.append(fname)
+        func_id[i] = fid
+        if info.is_port:
+            is_port[i] = True
+        else:
+            opcode_id[i] = opcode_index(info.opcode)
+            bitwidth[i] = info.bitwidth
+            rep_uid[i] = info.op_uids[0]
+
+    n_edges = g.number_of_edges()
+    e_src = np.empty(n_edges, dtype=np.int64)
+    e_dst = np.empty(n_edges, dtype=np.int64)
+    e_w = np.empty(n_edges, dtype=np.float64)
+    for k, (u, v, w) in enumerate(g.edges(data="weight")):
+        e_src[k] = row_of[u]
+        e_dst[k] = row_of[v]
+        e_w[k] = w
+
+    out_indptr, out_edge = _csr_from_groups(e_src, n)
+    in_indptr, in_edge = _csr_from_groups(e_dst, n)
+
+    # Undirected unique-neighbour CSR: both edge directions, dedup via
+    # a combined (row, neighbour) key.  Parallel opposite-direction
+    # edges collapse to one undirected neighbour, like nx.to_undirected.
+    key = dedup_sorted_keys(np.concatenate([e_src * n + e_dst,
+                                            e_dst * n + e_src]))
+    und_rows = key // n
+    und_nbr = key % n
+    und_counts = np.bincount(und_rows, minlength=n)
+    und_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(und_counts, out=und_indptr[1:])
+
+    return GraphStructure(
+        n=n,
+        node_ids=node_ids,
+        row_of=row_of,
+        is_port=is_port,
+        op_rows=np.flatnonzero(~is_port),
+        opcode_id=opcode_id,
+        bitwidth=bitwidth,
+        rep_uid=rep_uid,
+        func_names=tuple(func_names),
+        func_id=func_id,
+        e_src=e_src,
+        e_dst=e_dst,
+        e_w=e_w,
+        out_indptr=out_indptr,
+        out_edge=out_edge,
+        in_indptr=in_indptr,
+        in_edge=in_edge,
+        und_indptr=und_indptr,
+        und_nbr=und_nbr,
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class GraphSnapshot:
+    """A :class:`GraphStructure` plus every HLS-derived array feature
+    extraction consumes: the batched extraction engine reads only this
+    object (plus the device totals) — zero per-node Python.
+
+    ``eq=False`` for the same reason as :class:`GraphStructure`:
+    snapshots compare (and hash) by identity.
+    """
+
+    structure: GraphStructure
+    #: bound unit footprint per node in RESOURCE_KINDS order (0 ports)
+    resources: np.ndarray        # float [n, 4]
+    delay_ns: np.ndarray         # float [n]
+    latency_cycles: np.ndarray   # float [n]
+    #: ΔTcs per directed edge, aligned with ``structure.e_src``
+    edge_dt: np.ndarray          # float [E]
+    #: per-function report tables (rows follow ``structure.func_names``)
+    fop_res: np.ndarray          # float [nf, 4]
+    fop_vec: np.ndarray          # float [nf, 4] = max(1, fop_res); ones w/o report
+    fop_clocks: np.ndarray       # float [nf, 3] target/uncertainty/estimated
+    fop_latency: np.ndarray      # float [nf]
+    fop_mem: np.ndarray          # float [nf, 4] words/banks/bits/primitives
+    fop_mux: np.ndarray          # float [nf, 4] count/lut/mean_in/mean_bw
+    #: top-function constants
+    ftop_res: np.ndarray         # float [4] hierarchical resources
+    ftop_clocks: np.ndarray      # float [3]
+    ftop_latency: float
+    ftop_mem: np.ndarray         # float [4]
+    ftop_mux: np.ndarray         # float [4]
+    #: per-device-fingerprint memo of extracted feature matrices
+    #: (written by the extraction engine; excluded from identity)
+    matrix_cache: dict = field(default_factory=dict, compare=False,
+                               repr=False)
+
+
+def _snapshot_from_structure(s: GraphStructure, hls) -> GraphSnapshot:
+    n = s.n
+    resources = np.zeros((n, 4), dtype=np.float64)
+    delay_ns = np.zeros(n, dtype=np.float64)
+    latency = np.zeros(n, dtype=np.float64)
+    start = np.zeros(n, dtype=np.float64)
+    end = np.zeros(n, dtype=np.float64)
+
+    module = hls.module
+    schedules: dict = {}
+    for fid, fname in enumerate(s.func_names):
+        rows = np.flatnonzero((s.func_id == fid) & ~s.is_port)
+        if not len(rows):
+            continue
+        binding = hls.bindings.get(fname)
+        if binding is None:
+            raise FeatureError(f"no binding for function {fname!r}")
+        func = module.functions[fname]
+        sched = schedules.setdefault(fname, hls.schedule.for_function(fname))
+        op_start, op_end = sched.op_start, sched.op_end
+        for i in rows:
+            uid = int(s.rep_uid[i])
+            spec_res = binding.unit_of(uid).spec.resources()
+            resources[i, 0] = spec_res["LUT"]
+            resources[i, 1] = spec_res["FF"]
+            resources[i, 2] = spec_res["DSP"]
+            resources[i, 3] = spec_res["BRAM"]
+            op = func.op(uid)
+            delay_ns[i] = hls.library.spec_for(op).delay_ns
+            # The reference extractor fails loudly (KeyError in its
+            # timing filler) when an op node is missing from the
+            # schedule; fail just as loudly — a snapshot must never
+            # silently serve zeroed timing/ΔTcs features.
+            op_s, op_e = op_start.get(uid), op_end.get(uid)
+            if op_s is None or op_e is None:
+                raise FeatureError(
+                    f"op uid {uid} in function {fname!r} has no schedule "
+                    f"entry"
+                )
+            start[i] = op_s
+            end[i] = op_e
+            latency[i] = op_e - op_s
+
+    # ΔTcs per edge, fully vectorized (paper: 1 across function borders
+    # and port nodes, else the control-state distance
+    # max(1, start(dst) - end(src)); every op node is scheduled — the
+    # node pass above enforces it).
+    src, dst = s.e_src, s.e_dst
+    valid = (
+        ~s.is_port[src] & ~s.is_port[dst]
+        & (s.func_id[src] == s.func_id[dst])
+    )
+    edge_dt = np.ones(len(src), dtype=np.float64)
+    edge_dt[valid] = np.maximum(1.0, start[dst[valid]] - end[src[valid]])
+
+    # Per-function report tables for the global-information category.
+    nf = len(s.func_names)
+    fop_res = np.zeros((nf, 4), dtype=np.float64)
+    fop_vec = np.ones((nf, 4), dtype=np.float64)
+    fop_clocks = np.zeros((nf, 3), dtype=np.float64)
+    fop_latency = np.zeros(nf, dtype=np.float64)
+    fop_mem = np.zeros((nf, 4), dtype=np.float64)
+    fop_mux = np.zeros((nf, 4), dtype=np.float64)
+    for fid, fname in enumerate(s.func_names):
+        report = hls.reports.get(fname)
+        if report is None:
+            # The reference extractor fails loudly (_fill_global) when
+            # an op node's function has no report; mirror that.  A
+            # function contributing only port nodes is never read by
+            # _fill_global, so it may stay zero-filled.
+            if np.any((s.func_id == fid) & ~s.is_port):
+                raise FeatureError(f"no report for function {fname!r}")
+            continue
+        res = report.resources
+        for k, kind in enumerate(RESOURCE_KINDS):
+            fop_res[fid, k] = res.get(kind, 0)
+            fop_vec[fid, k] = max(1.0, res.get(kind, 0))
+        fop_clocks[fid] = (report.target_clock_ns,
+                           report.clock_uncertainty_ns,
+                           report.estimated_clock_ns)
+        fop_latency[fid] = report.latency_cycles
+        mem, mux = report.memories, report.muxes
+        fop_mem[fid] = (mem.words, mem.banks, mem.bits, mem.primitives)
+        fop_mux[fid] = (mux.count, mux.lut, mux.mean_inputs,
+                        mux.mean_bitwidth)
+
+    ftop = hls.reports[module.top.name]
+    ftop_res = np.array(
+        [ftop.hierarchical_resources.get(kind, 0) for kind in RESOURCE_KINDS],
+        dtype=np.float64,
+    )
+    ftop_clocks = np.array(
+        [ftop.target_clock_ns, ftop.clock_uncertainty_ns,
+         ftop.estimated_clock_ns], dtype=np.float64,
+    )
+    ftop_mem = np.array(
+        [ftop.memories.words, ftop.memories.banks, ftop.memories.bits,
+         ftop.memories.primitives], dtype=np.float64,
+    )
+    ftop_mux = np.array(
+        [ftop.muxes.count, ftop.muxes.lut, ftop.muxes.mean_inputs,
+         ftop.muxes.mean_bitwidth], dtype=np.float64,
+    )
+
+    return GraphSnapshot(
+        structure=s,
+        resources=resources,
+        delay_ns=delay_ns,
+        latency_cycles=latency,
+        edge_dt=edge_dt,
+        fop_res=fop_res,
+        fop_vec=fop_vec,
+        fop_clocks=fop_clocks,
+        fop_latency=fop_latency,
+        fop_mem=fop_mem,
+        fop_mux=fop_mux,
+        ftop_res=ftop_res,
+        ftop_clocks=ftop_clocks,
+        ftop_latency=float(ftop.latency_cycles),
+        ftop_mem=ftop_mem,
+        ftop_mux=ftop_mux,
+    )
+
+
+def compile_snapshot(graph, hls) -> GraphSnapshot:
+    """The :class:`GraphSnapshot` of ``graph`` against ``hls``.
+
+    Memoized on the graph per (graph version, HLS result identity):
+    repeated feature extractions over the same artifacts — the serving
+    steady state — reuse one compilation.
+    """
+    slot = getattr(graph, "_snapshot_slot", None)
+    version = graph.version
+    if slot is not None and slot[0] == version and slot[1] is hls:
+        return slot[2]
+    snapshot = _snapshot_from_structure(graph.structure(), hls)
+    graph._snapshot_slot = (version, hls, snapshot)
+    return snapshot

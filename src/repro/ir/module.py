@@ -17,10 +17,18 @@ class Module:
     thing one C-to-FPGA flow run consumes.
     """
 
+    # class-level fallback so modules unpickled from caches written
+    # before the uid index existed still resolve lookups
+    _op_index: dict[int, Operation] | None = None
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.functions: dict[str, Function] = {}
         self._top: str | None = None
+        #: lazily built uid -> Operation map; every hit is validated
+        #: against the op's owning function, so transforms that add or
+        #: remove operations can never be served a stale entry
+        self._op_index: dict[int, Operation] | None = None
 
     def add_function(self, func: Function) -> Function:
         if func.name in self.functions:
@@ -62,11 +70,35 @@ class Module:
     def n_ops(self) -> int:
         return sum(f.n_ops() for f in self.functions.values())
 
+    def op_by_uid(self, uid: int) -> Operation:
+        """O(1) lookup of an operation by uid, module-wide.
+
+        Backed by a cached uid -> op map so per-node lookups (dataset
+        assembly, source-region aggregation over every prediction) do
+        not re-scan the function list each call.  A cache hit is only
+        trusted when the operation is still registered with its owning
+        function (``Function.remove`` detaches ``op.parent``) AND that
+        function is still in this module (inlining deletes whole
+        functions without per-op removal), so transforms can never be
+        served a stale entry; any miss or stale hit rebuilds the map.
+        """
+        index = self._op_index
+        if index is not None:
+            op = index.get(uid)
+            if (op is not None and op.parent is not None
+                    and self.functions.get(op.parent.name) is op.parent
+                    and op.parent.has_op(uid) and op.parent.op(uid) is op):
+                return op
+        index = {op.uid: op for op in self.iter_all_ops()}
+        self._op_index = index
+        if uid not in index:
+            raise IRError(
+                f"no operation with uid {uid} in module {self.name}"
+            )
+        return index[uid]
+
     def find_op(self, uid: int) -> Operation:
-        for func in self.functions.values():
-            if func.has_op(uid):
-                return func.op(uid)
-        raise IRError(f"no operation with uid {uid} in module {self.name}")
+        return self.op_by_uid(uid)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

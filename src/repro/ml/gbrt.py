@@ -77,9 +77,12 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
             residual = y - prediction
             if self.subsample < 1.0:
                 idx = rng.choice(n, size=n_sub, replace=False)
+                nodes = builder.build(codes[idx], residual[idx],
+                                      self.split_counts_)
             else:
-                idx = slice(None)
-            nodes = builder.build(codes[idx], residual[idx], self.split_counts_)
+                # pass `codes` itself (not a per-stage `codes[idx]` view)
+                # so the builder's offset-pack memo hits across stages
+                nodes = builder.build(codes, residual, self.split_counts_)
             update = _HistogramTreeBuilder.predict_fast(nodes, codes)
             prediction = prediction + self.learning_rate * update
             self._trees.append(nodes)

@@ -91,6 +91,22 @@ class _HistogramTreeBuilder:
         number of times that a feature is used as a split point").
         """
         n, p = codes.shape
+        # Offset-packed codes: column j's bins live in [j*B, (j+1)*B), so
+        # one bincount over the raveled slice histograms EVERY feature at
+        # once — the split search below never loops features in Python
+        # for the full-feature case.  Memoized per codes array: a boosting
+        # fit calls build() once per stage on the SAME binned matrix, and
+        # repacking [n, p] int64 every stage costs more than a tree.
+        # When feature subsampling is on, _best_split packs only the
+        # sampled candidate columns per node and never reads this.
+        if self.max_features < 1.0 and self.rng is not None:
+            codes_off = None
+        else:
+            if getattr(self, "_codes_off_for", None) is not codes:
+                self._codes_off_for = codes
+                self._codes_off = codes.astype(np.int64) \
+                    + np.arange(p, dtype=np.int64) * self.n_bins
+            codes_off = self._codes_off
         nodes: list[_Node] = []
         # stack entries: (node index, sample indices, depth)
         root_idx = self._new_leaf(nodes, target, np.arange(n))
@@ -99,7 +115,7 @@ class _HistogramTreeBuilder:
             node_idx, idx, depth = stack.pop()
             if depth >= self.max_depth or len(idx) < 2 * self.min_samples_leaf:
                 continue
-            best = self._best_split(codes, target, idx)
+            best = self._best_split(codes, target, idx, codes_off)
             if best is None:
                 continue
             feature, threshold, gain = best
@@ -129,52 +145,77 @@ class _HistogramTreeBuilder:
         nodes.append(_Node(value=float(target[idx].mean())))
         return len(nodes) - 1
 
-    def _best_split(self, codes, target, idx):
-        """Best (feature, bin threshold, variance gain) for a node."""
+    def _best_split(self, codes, target, idx, codes_off=None):
+        """Best (feature, bin threshold, variance gain) for a node.
+
+        All candidate features are histogrammed in ONE ``bincount`` over
+        offset-packed codes (bit-identical to the former per-feature
+        scan: per (feature, bin) the contributions still accumulate in
+        sample order, and the score/gain arithmetic is unchanged).  Only
+        the final first-wins selection over per-feature gains remains a
+        Python loop, preserving the original tie-breaking exactly.
+        """
         n_node = len(idx)
         t = target[idx]
         total_sum = float(t.sum())
-        total_sq = float((t * t).sum())
-        parent_impurity = total_sq - total_sum * total_sum / n_node
 
-        node_codes = codes[idx]
-        best_gain = 0.0
-        best = None
         B = self.n_bins
         p = codes.shape[1]
         if self.max_features < 1.0 and self.rng is not None:
             n_feat = max(1, int(round(p * self.max_features)))
             candidates = self.rng.choice(p, size=n_feat, replace=False)
+            flat = (
+                codes[np.ix_(idx, candidates)].astype(np.int64)
+                + np.arange(n_feat, dtype=np.int64) * B
+            ).ravel()
+            nc = n_feat
         else:
             candidates = range(p)
-        for f in candidates:
-            col = node_codes[:, f]
-            hist_cnt = np.bincount(col, minlength=B).astype(np.float64)
-            hist_sum = np.bincount(col, weights=t, minlength=B)
-            cnt_left = np.cumsum(hist_cnt)[:-1]
-            sum_left = np.cumsum(hist_sum)[:-1]
-            cnt_right = n_node - cnt_left
-            sum_right = total_sum - sum_left
-            valid = (cnt_left >= self.min_samples_leaf) & (
-                cnt_right >= self.min_samples_leaf
+            if codes_off is None:
+                codes_off = codes.astype(np.int64) \
+                    + np.arange(p, dtype=np.int64) * B
+            flat = codes_off[idx].ravel()
+            nc = p
+        # Peak transient memory here is O(n_node * nc) for `flat` and
+        # `weights` — ~2.4 MB per 1k samples at 302 features, fine for
+        # this repo's datasets (<= ~10k samples).  If training ever
+        # scales to millions of rows, chunk the candidate columns
+        # (per-(feature, bin) bincount accumulation order is unchanged
+        # by chunking, so results stay bit-identical).
+        weights = np.repeat(t, nc)
+        hist_cnt = np.bincount(flat, minlength=nc * B) \
+            .astype(np.float64).reshape(nc, B)
+        hist_sum = np.bincount(flat, weights=weights, minlength=nc * B) \
+            .reshape(nc, B)
+
+        cnt_left = np.cumsum(hist_cnt, axis=1)[:, :-1]
+        sum_left = np.cumsum(hist_sum, axis=1)[:, :-1]
+        cnt_right = n_node - cnt_left
+        sum_right = total_sum - sum_left
+        valid = (cnt_left >= self.min_samples_leaf) & (
+            cnt_right >= self.min_samples_leaf
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = np.where(
+                valid,
+                sum_left ** 2 / np.maximum(cnt_left, 1)
+                + sum_right ** 2 / np.maximum(cnt_right, 1),
+                -np.inf,
             )
-            if not valid.any():
-                continue
-            with np.errstate(divide="ignore", invalid="ignore"):
-                score = np.where(
-                    valid,
-                    sum_left ** 2 / np.maximum(cnt_left, 1)
-                    + sum_right ** 2 / np.maximum(cnt_right, 1),
-                    -np.inf,
-                )
-            k = int(np.argmax(score))
-            gain = float(score[k]) - total_sum * total_sum / n_node
-            # gain is the reduction of sum of squared errors
+        ks = np.argmax(score, axis=1)
+        # gain is the reduction of sum of squared errors; features with
+        # no valid split carry -inf and can never win
+        gains = (score[np.arange(nc), ks]
+                 - total_sum * total_sum / n_node).tolist()
+        ks = ks.tolist()
+
+        best_gain = 0.0
+        best = None
+        for pos, f in enumerate(candidates):
+            gain = gains[pos]
             if gain > best_gain + 1e-12:
                 best_gain = gain
-                best = (int(f), k, gain)
-        if best is None:
-            return None
+                best = (int(f), ks[pos], gain)
         return best
 
     @staticmethod

@@ -74,7 +74,9 @@ def regions_from_predictions(
     by_region: dict[tuple[str, int], list[int]] = {}
     for i, node_id in enumerate(nodes):
         info = graph.info(node_id)
-        op = design.module.find_op(info.op_uids[0])
+        # cached uid->op map: one dict hit per node instead of a scan
+        # over the module's functions for every predicted operation
+        op = design.op_by_uid(info.op_uids[0])
         by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
     return [
         SourceRegionPrediction(

@@ -72,3 +72,86 @@ def test_optype_features_cover_vocabulary():
     for opcode in opcode_names():
         assert f"optype_is_{opcode}" in names
         assert f"optype_neigh_{opcode}" in names
+
+
+def test_index_tables_match_feature_index_for_all_302_names():
+    """Every entry of the precomputed FeatureIndexTables resolves to the
+    same index feature_index() computes from the composed name, and the
+    tables jointly cover the whole 302-column vector exactly once."""
+    from repro.features import index_tables
+    from repro.ir.opcodes import opcode_names
+
+    tables = index_tables()
+    covered: list[int] = [tables.bitwidth]
+    assert tables.bitwidth == feature_index("bitwidth")
+
+    for hop, metrics in tables.ic.items():
+        for metric, idx in metrics.items():
+            assert idx == feature_index(f"ic_{hop}_{metric}")
+            covered.append(idx)
+    for kind, metrics in tables.res_self.items():
+        for metric, idx in metrics.items():
+            assert idx == feature_index(f"res_{kind}_{metric}")
+            covered.append(idx)
+    for kind, hops in tables.res_hop.items():
+        for hop, metrics in hops.items():
+            for metric, idx in metrics.items():
+                assert idx == feature_index(f"res_{kind}_{hop}_{metric}")
+                covered.append(idx)
+    for kind, hops in tables.rdt.items():
+        for hop, metrics in hops.items():
+            for metric, idx in metrics.items():
+                assert idx == feature_index(f"rdt_{kind}_{hop}_{metric}")
+                covered.append(idx)
+    for metric, idx in tables.timing.items():
+        assert idx == feature_index(f"timing_{metric}")
+        covered.append(idx)
+    for metric, idx in tables.global_info.items():
+        assert idx == feature_index(f"global_{metric}")
+        covered.append(idx)
+
+    opcodes = opcode_names()
+    assert tables.optype_is_base == feature_index(f"optype_is_{opcodes[0]}")
+    assert tables.optype_neigh_base == feature_index(
+        f"optype_neigh_{opcodes[0]}"
+    )
+    for offset, opcode in enumerate(opcodes):
+        assert tables.optype_is_base + offset == feature_index(
+            f"optype_is_{opcode}"
+        )
+        assert tables.optype_neigh_base + offset == feature_index(
+            f"optype_neigh_{opcode}"
+        )
+        covered.append(tables.optype_is_base + offset)
+        covered.append(tables.optype_neigh_base + offset)
+
+    assert sorted(covered) == list(range(302))
+
+
+def test_grouped_global_index_arrays_match_global_info():
+    """The NumPy index arrays over the global block agree with the flat
+    global_info map (RESOURCE_KINDS / declared metric order)."""
+    from repro.features import index_tables
+
+    tables = index_tables()
+    kinds = ("lut", "ff", "dsp", "bram")
+    assert list(tables.g_ftop_res) == [
+        tables.global_info[f"ftop_{k}"] for k in kinds
+    ]
+    assert list(tables.g_fop_res_util) == [
+        tables.global_info[f"fop_{k}_util"] for k in kinds
+    ]
+    assert list(tables.g_fop_res_pct) == [
+        tables.global_info[f"fop_{k}_pct_of_top"] for k in kinds
+    ]
+    assert list(tables.g_latency) == [
+        tables.global_info["ftop_latency"],
+        tables.global_info["fop_latency"],
+        tables.global_info["fop_latency_pct_of_top"],
+    ]
+    assert list(tables.g_fop_mux) == [
+        tables.global_info["fop_mux_count"],
+        tables.global_info["fop_mux_lut"],
+        tables.global_info["fop_mux_mean_inputs"],
+        tables.global_info["fop_mux_mean_bitwidth"],
+    ]

@@ -2,7 +2,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import FeatureError
-from repro.graph import build_dependency_graph
+from repro.graph import DependencyGraph, build_dependency_graph
 from repro.hls import synthesize
 from repro.ir import Function, I16, IRBuilder, Module
 
@@ -134,3 +134,60 @@ def test_chain_graph_structure(n):
         assert len(g.predecessors(node)) <= 2
     # chain length preserved
     assert len(g.op_nodes()) == n
+
+
+def test_freeze_builds_views_once_and_mutation_invalidates():
+    """freeze() constructs the undirected view and CSR structure once;
+    construction does not pay per-call invalidation, and a post-freeze
+    mutation lazily rebuilds both."""
+    g = DependencyGraph()
+    ids = []
+    for i in range(4):
+        ids.append(g.add_port_node("f", f"p{i}"))
+    g.add_edge(ids[0], ids[1], 2)
+    g.add_edge(ids[1], ids[2], 3)
+
+    version = g.version
+    g.freeze()
+    assert g.version == version  # freezing is not a mutation
+    structure = g.structure()
+    assert g.structure() is structure  # cached, not rebuilt
+    assert g.two_hop_neighborhood(ids[0]) == {ids[1], ids[2]}
+
+    g.add_edge(ids[2], ids[3], 1)
+    assert g.version > version
+    rebuilt = g.structure()
+    assert rebuilt is not structure
+    assert rebuilt.n_edges == structure.n_edges + 1
+    assert g.two_hop_neighborhood(ids[1]) == {ids[0], ids[2], ids[3]}
+
+
+def test_build_dependency_graph_returns_frozen_graph(tiny_module):
+    from repro.hls import synthesize
+
+    hls = synthesize(tiny_module)
+    graph = build_dependency_graph(tiny_module, hls.bindings)
+    # freeze() ran: the CSR structure exists at the current version
+    # (the undirected networkx copy stays lazy — reference path only)
+    assert graph._structure is not None
+    assert graph._structure_version == graph.version
+    assert graph._undirected_cache is None
+    structure = graph.structure()
+    assert structure.n == graph.n_nodes()
+    assert structure.n_edges == graph.n_edges()
+    assert len(structure.op_rows) == len(graph.op_nodes())
+
+
+def test_structure_matches_graph_queries(tiny_module):
+    from repro.hls import synthesize
+
+    hls = synthesize(tiny_module)
+    graph = build_dependency_graph(tiny_module, hls.bindings)
+    s = graph.structure()
+    for row, node_id in enumerate(s.node_ids):
+        node_id = int(node_id)
+        assert s.row_of[node_id] == row
+        assert s.in_counts()[row] == len(graph.predecessors(node_id))
+        assert s.out_counts()[row] == len(graph.successors(node_id))
+        assert s.und_counts()[row] == len(graph.neighbors(node_id))
+        assert s.is_port[row] == graph.info(node_id).is_port

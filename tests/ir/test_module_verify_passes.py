@@ -163,3 +163,49 @@ def test_default_pipeline_runs_all(tmp_path):
     assert stats.folded >= 1
     assert stats.removed >= 1
     verify_module(m)
+
+
+def test_op_by_uid_survives_count_neutral_churn():
+    """The cached uid->op map must never serve a stale entry: removing
+    one op and adding another (count-neutral, as inline + DCE can do)
+    invalidates the removed uid and resolves the new one."""
+    m, f, b = small_module()
+    x = b.arg("x", I16)
+    s = b.add(x, x)
+    t = b.add(s, x)
+    victim = s.producer
+    assert m.op_by_uid(victim.uid) is victim  # index built and hit
+
+    n_before = m.n_ops()
+    f.remove(m.find_op(t.producer.uid))       # drop the dependent first
+    f.remove(victim)
+    replacement = b.mul(x, x, width=16).producer
+    b.mul(x, x, width=16)                     # restore the exact op count
+    assert m.n_ops() == n_before              # count-neutral churn
+
+    assert m.op_by_uid(replacement.uid) is replacement
+    with pytest.raises(IRError):
+        m.op_by_uid(victim.uid)
+
+
+def test_op_by_uid_invalidated_by_whole_function_removal():
+    """Inlining deletes entire functions (`del module.functions[name]`)
+    without per-op Function.remove; cached entries for their ops must
+    stop resolving, exactly like the pre-cache linear scan did."""
+    m = Module("m")
+    callee = Function("callee")
+    m.add_function(callee)
+    cb = IRBuilder(callee, "t.cpp")
+    cx = cb.arg("x", I16)
+    dead = cb.add(cx, cx).producer
+    top = Function("top", is_top=True)
+    m.add_function(top)
+    tb = IRBuilder(top, "t.cpp")
+    tx = tb.arg("x", I16)
+    live = tb.add(tx, tx).producer
+
+    assert m.op_by_uid(dead.uid) is dead      # index built and hit
+    del m.functions["callee"]
+    with pytest.raises(IRError):
+        m.op_by_uid(dead.uid)
+    assert m.op_by_uid(live.uid) is live

@@ -157,14 +157,22 @@ def test_service_batch_equals_per_request():
     for single, batched in zip(singles, batch):
         assert batched.batch_size == len(requests)
         assert single.n_operations == batched.n_operations
-        assert single.predicted_max_vertical == batched.predicted_max_vertical
-        assert [
-            (r.source_file, r.source_line, r.vertical, r.horizontal)
-            for r in single.regions
-        ] == [
-            (r.source_file, r.source_line, r.vertical, r.horizontal)
-            for r in batched.regions
-        ]
+        # Semantically identical, but not bit-identical: both paths run
+        # one stacked model invocation, and BLAS picks different matmul
+        # kernels for a 1-request vs an n-request row count, which
+        # perturbs X @ coef_ in the last ulp.
+        assert single.predicted_max_vertical == pytest.approx(
+            batched.predicted_max_vertical, abs=1e-9
+        )
+        assert [(r.source_file, r.source_line) for r in single.regions] \
+            == [(r.source_file, r.source_line) for r in batched.regions]
+        for s_region, b_region in zip(single.regions, batched.regions):
+            assert s_region.vertical == pytest.approx(
+                b_region.vertical, abs=1e-9
+            )
+            assert s_region.horizontal == pytest.approx(
+                b_region.horizontal, abs=1e-9
+            )
     stats = service.stats()
     assert stats["trained"] == 1
     assert stats["predictions"] == 2 * len(requests)
