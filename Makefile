@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test lint bench bench-serve bench-features help
+.PHONY: verify test lint bench bench-serve bench-features \
+	bench-resilience help
 
 help:
 	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
@@ -10,6 +11,7 @@ help:
 	@echo "make bench          - time flow stages, write benchmarks/out/BENCH_flow.json"
 	@echo "make bench-serve    - serving bench, write benchmarks/out/BENCH_serve.json"
 	@echo "make bench-features - feature-extraction bench, write benchmarks/out/BENCH_features.json"
+	@echo "make bench-resilience - resilient-serving load bench (clean vs faulted), write benchmarks/out/BENCH_resilience.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -32,3 +34,6 @@ bench-serve:
 
 bench-features:
 	$(PYTHON) benchmarks/perf/run_bench.py --features --repeat 3
+
+bench-resilience:
+	$(PYTHON) benchmarks/perf/run_bench.py --resilience

@@ -145,6 +145,102 @@ def bench_serve(scale: float, seed: int, effort: str,
     }
 
 
+def bench_resilience(scale: float, seed: int, effort: str,
+                     n_requests: int, model: str, rate: float) -> dict:
+    """Resilient-serving benchmark: open-loop load through
+    :class:`ResilientCongestionServer`, once clean and once under a
+    deterministic fault plan (worker crashes, slow stages, cache write
+    failures).  Publishes p50/p99 latency and success rate for both
+    phases — the headline numbers of ``BENCH_resilience.json``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.flow import FlowOptions
+    from repro.kernels import KERNEL_BUILDERS
+    from repro.serve import (
+        CongestionService,
+        ModelRegistry,
+        PredictRequest,
+        ResilientCongestionServer,
+        ServerConfig,
+        run_open_loop,
+    )
+    from repro.util import faults
+
+    fault_plan = ("server.worker:error:p=0.3;"
+                  "stage.graph:delay:s=0.03,p=0.5;"
+                  "cache.write:error:p=0.5")
+    options = FlowOptions(scale=scale, seed=seed, placement_effort=effort)
+    designs = sorted(KERNEL_BUILDERS)
+    requests = [PredictRequest(designs[i % len(designs)])
+                for i in range(n_requests)]
+    config = ServerConfig(max_queue=max(16, n_requests),
+                          batch_window_s=0.01, workers=2)
+
+    from repro.util.cache import cached_property_store
+
+    root = tempfile.mkdtemp(prefix="repro-bench-resil-")
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-resil-cache-")
+    saved_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    phases: dict[str, dict] = {}
+    try:
+        for phase, plan in (("baseline", None), ("faulted", fault_plan)):
+            # both phases start stage-cold so their latencies compare:
+            # clear the process-global stage memo and the disk cache
+            cached_property_store("flow_stages").clear()
+            cached_property_store("flow_results").clear()
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            os.makedirs(cache_dir, exist_ok=True)
+            service = CongestionService(
+                model, options=options, registry=ModelRegistry(root)
+            )
+            with ResilientCongestionServer(service, config) as server:
+                server.warm()
+                # injector installs *after* warm: the measured phase is
+                # serving under faults, not training under faults
+                if plan is not None:
+                    faults.install(faults.FaultInjector(
+                        faults.parse_fault_plan(plan), seed=seed
+                    ))
+                try:
+                    report = run_open_loop(server, requests,
+                                           rate_per_s=rate)
+                finally:
+                    injector = faults.active_injector()
+                    faults.install(None)
+                stats = server.stats()
+                phases[phase] = {
+                    **report.summary(),
+                    "worker_crashes": stats["worker_crashes"],
+                    "worker_restarts": stats["worker_restarts"],
+                    "batches": stats["batches"],
+                    "model_source": stats["service"]["model_source"],
+                    **({"faults_fired": injector.stats()}
+                       if plan is not None and injector is not None else {}),
+                }
+    finally:
+        faults.install(None)
+        if saved_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_env
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "model": model,
+        "n_requests": n_requests,
+        "rate_per_s": rate,
+        "fault_plan": fault_plan,
+        "server": {"max_queue": config.max_queue,
+                   "batch_window_ms": config.batch_window_s * 1e3,
+                   "workers": config.workers},
+        "phases": phases,
+    }
+
+
 def bench_features(scale: float, repeat: int) -> dict:
     """Feature-extraction benchmark: the vectorized whole-graph engine
     vs the pinned per-node reference, on the paper combos (HLS prefix
@@ -335,27 +431,48 @@ def main(argv=None) -> int:
     parser.add_argument("--features", action="store_true",
                         help="benchmark feature extraction (vectorized vs "
                              "reference); writes BENCH_features.json")
+    parser.add_argument("--resilience", action="store_true",
+                        help="benchmark the fault-tolerant server under "
+                             "open-loop load, clean and faulted; writes "
+                             "BENCH_resilience.json")
     parser.add_argument("--requests", type=int, default=24,
-                        help="prediction requests for --serve")
+                        help="prediction requests for --serve/--resilience")
+    parser.add_argument("--rate", type=float, default=40.0,
+                        help="open-loop arrival rate for --resilience")
     parser.add_argument("--model", default="gbrt",
                         choices=("linear", "ann", "gbrt"),
-                        help="model family for --serve")
+                        help="model family for --serve/--resilience")
     parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
-    if args.serve and args.features:
-        parser.error("--serve and --features are mutually exclusive")
+    if sum((args.serve, args.features, args.resilience)) > 1:
+        parser.error("--serve, --features and --resilience are "
+                     "mutually exclusive")
     if args.out is None:
         name = ("BENCH_serve.json" if args.serve
                 else "BENCH_features.json" if args.features
+                else "BENCH_resilience.json" if args.resilience
                 else "BENCH_flow.json")
         args.out = os.path.join(os.path.dirname(__file__), os.pardir,
                                 "out", name)
 
-    if args.features:
+    if args.resilience:
+        report = {
+            "meta": {
+                "scale": args.scale,
+                "seed": args.seed,
+                "effort": args.effort,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+            **bench_resilience(args.scale, args.seed, args.effort,
+                               args.requests, args.model, args.rate),
+        }
+    elif args.features:
         report = {
             "meta": {
                 "scale": args.scale,
@@ -390,6 +507,16 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"wrote {out}")
+    if args.resilience:
+        for phase, stats in report["phases"].items():
+            latency = stats["latency_ms"]
+            print(f"{phase:9s} success={stats['success_rate']*100:.1f}%  "
+                  f"p50={latency['p50']:.1f}ms p99={latency['p99']:.1f}ms  "
+                  f"overload={stats['rejected_overload']} "
+                  f"deadline-miss={stats['deadline_misses']} "
+                  f"crashes={stats['worker_crashes']} "
+                  f"restarts={stats['worker_restarts']}")
+        return 0
     if args.features:
         for name, stats in report["combos"].items():
             print(f"{name:18s} ref={stats['reference_seconds']:.3f}s  "

@@ -37,8 +37,15 @@ from repro.kernels import (
     build_kernel,
 )
 from repro.predict import CongestionPredictor, evaluate_models, suggest_resolutions
-from repro.serve import CongestionService, PredictRequest
+from repro.serve import (
+    CongestionService,
+    PredictRequest,
+    ResilientCongestionServer,
+    ServerConfig,
+    run_open_loop,
+)
 from repro.serve.service import measure_serving
+from repro.util import faults
 from repro.util.cache import CACHE_DIR_ENV
 from repro.util.tabulate import format_table
 
@@ -156,6 +163,57 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank]
 
 
+def _cmd_serve_resilient(args, service) -> int:
+    """The ``serve-demo --resilient`` path: open-loop load through the
+    fault-tolerant front-end, with optional injected faults."""
+    if args.faults:
+        faults.install(faults.FaultInjector(
+            faults.parse_fault_plan(args.faults), seed=args.seed
+        ))
+    config = ServerConfig(
+        max_queue=args.queue,
+        batch_window_s=args.batch_window_ms / 1e3,
+        workers=args.workers,
+        default_timeout_s=(
+            args.timeout_ms / 1e3 if args.timeout_ms else None
+        ),
+    )
+    designs = sorted(KERNEL_BUILDERS)
+    requests = [PredictRequest(designs[i % len(designs)])
+                for i in range(args.requests)]
+    try:
+        with ResilientCongestionServer(service, config) as server:
+            start = time.perf_counter()
+            source = server.warm()
+            print(f"model ready from '{source}' in "
+                  f"{time.perf_counter() - start:.2f}s ({args.model})")
+            server.predict(requests[0])  # prime the stage cache
+            report = run_open_loop(server, requests,
+                                   rate_per_s=args.rate)
+            summary = report.summary()
+            latency = summary["latency_ms"]
+            print(f"\nopen-loop {args.requests} requests @ "
+                  f"{args.rate:.0f}/s (queue {args.queue}, window "
+                  f"{args.batch_window_ms:.0f}ms, {args.workers} worker(s)):")
+            print(f"  success {100 * summary['success_rate']:.1f}%  "
+                  f"degraded {summary['degraded']}  "
+                  f"overload {summary['rejected_overload']}  "
+                  f"deadline-miss {summary['deadline_misses']}  "
+                  f"failures {summary['other_failures']}")
+            print(f"  latency p50 {latency['p50']:.1f}ms  "
+                  f"p90 {latency['p90']:.1f}ms  p99 {latency['p99']:.1f}ms  "
+                  f"({summary['completed_rate_per_s']:.1f} req/s completed)")
+            stats = server.stats()
+            print(f"  batches {stats['batches']}  worker restarts "
+                  f"{stats['worker_restarts']}  queue depth "
+                  f"{stats['queue_depth']}")
+            print(f"\nstats: {stats}")
+    finally:
+        if args.faults:
+            faults.install(None)
+    return 0
+
+
 def cmd_serve_demo(args) -> int:
     if args.requests < 1:
         print(f"error: --requests must be >= 1, got {args.requests}",
@@ -164,6 +222,8 @@ def cmd_serve_demo(args) -> int:
     service = CongestionService(
         args.model, options=_options(args), n_jobs=args.jobs
     )
+    if args.resilient:
+        return _cmd_serve_resilient(args, service)
     if service.registry is None:
         print(f"note: no {CACHE_DIR_ENV}/--cache-dir — model will not "
               f"be persisted", file=sys.stderr)
@@ -250,6 +310,26 @@ def main(argv=None) -> int:
                          choices=("linear", "ann", "gbrt"))
     p_serve.add_argument("--requests", type=int, default=12,
                          help="number of prediction requests to answer")
+    p_serve.add_argument("--resilient", action="store_true",
+                         help="serve through the fault-tolerant "
+                              "front-end (bounded queue, micro-batching,"
+                              " supervision) under open-loop load")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="open-loop arrival rate for --resilient")
+    p_serve.add_argument("--queue", type=int, default=64,
+                         help="admission queue capacity (--resilient)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=10.0,
+                         help="micro-batch collection window "
+                              "(--resilient)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="serving worker threads (--resilient)")
+    p_serve.add_argument("--timeout-ms", type=float, default=None,
+                         help="per-request deadline (--resilient)")
+    p_serve.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject a fault plan, e.g. "
+                              "'server.worker:error:max=1;"
+                              "stage.graph:delay:s=0.05' "
+                              f"(also via ${faults.FAULTS_ENV})")
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve_demo)
 

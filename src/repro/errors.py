@@ -95,3 +95,29 @@ class ModelRegistryError(ServeError):
 class StaleModelError(ModelRegistryError):
     """A persisted model's manifest no longer matches the running
     library (device calibration, feature registry or dataset changed)."""
+
+
+class CorruptArtifactError(ModelRegistryError):
+    """A persisted artifact failed its integrity check (bad checksum,
+    truncated pickle, malformed manifest).  The offending files are
+    quarantined (renamed ``*.quarantined``) before this is raised, so a
+    retry never re-adopts them."""
+
+
+class OverloadedError(ServeError):
+    """The serving tier's bounded admission queue is full; the request
+    was rejected instead of buffered without bound."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before (or while) serving it."""
+
+
+class CircuitOpenError(ServeError):
+    """A circuit breaker is open: a dependency has failed repeatedly and
+    calls are being rejected fast instead of hammering it."""
+
+
+class ServerClosedError(ServeError):
+    """The serving front-end has been shut down; no new requests are
+    accepted and in-queue requests are failed with this error."""

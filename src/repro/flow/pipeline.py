@@ -33,7 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.backtrace.trace import BacktraceResult, Backtracer
-from repro.errors import FlowError
+from repro.errors import DeadlineExceededError, FlowError
 from repro.fpga.device import Device, device_fingerprint, xc7z020
 from repro.graph.depgraph import DependencyGraph, build_dependency_graph
 from repro.graph.snapshot import compile_snapshot
@@ -47,6 +47,7 @@ from repro.kernels.common import KernelDesign
 from repro.rtl.generate import generate_netlist
 from repro.rtl.netlist import Netlist
 from repro.util.cache import cached_property_store, disk_cache_from_env
+from repro.util.faults import fault_point
 
 #: canonical stage order of the complete flow
 STAGE_ORDER = (
@@ -420,8 +421,16 @@ class FlowPipeline:
         cache_token: tuple | None = None,
         persist: bool = False,
         observer: Callable[[StageRecord], None] | None = None,
+        deadline: float | None = None,
     ) -> FlowContext:
         """Thread a fresh :class:`FlowContext` through the stages.
+
+        ``deadline`` (a ``time.monotonic()`` timestamp, as produced by
+        :class:`repro.serve.resilience.Deadline`) is checked before each
+        stage: an expired deadline raises
+        :class:`~repro.errors.DeadlineExceededError` instead of starting
+        more work, which is how the serving tier stops a slow request
+        from occupying a worker past its budget.
 
         ``until`` truncates the run after the named stage.  When
         ``cache_token`` identifies the design build (e.g. ``("combined",
@@ -452,6 +461,16 @@ class FlowPipeline:
 
         ctx = FlowContext(design=design, device=device, options=options)
         for stage in pipe.stages:
+            if deadline is not None:
+                late = time.monotonic() - deadline
+                if late >= 0:
+                    raise DeadlineExceededError(
+                        f"deadline exceeded {late * 1e3:.1f}ms before "
+                        f"stage {stage.name!r} (completed: "
+                        f"{list(ctx.completed_stages)})"
+                    )
+            # chaos seam: slow-stage latency / stage failure injection
+            fault_point(f"stage.{stage.name}")
             start = time.perf_counter()
             cached = False
             if store is not None and stage.provides:

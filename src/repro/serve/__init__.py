@@ -1,16 +1,35 @@
-"""Serving layer: persistent model registry + prediction service.
+"""Serving layer: persistent model registry + prediction service +
+fault-tolerant front-end.
 
 This subsystem is the scaling seam named in the ROADMAP: every future
-serving change (async, sharding, multi-backend) lands here instead of
-rewriting the flow or predict layers.
+serving change (sharding, multi-backend, hot-swap) lands here instead
+of rewriting the flow or predict layers.  The pieces:
+
+* :class:`ModelRegistry` — crash-safe persistence of trained
+  predictors (checksummed artifacts, quarantine on corruption);
+* :class:`CongestionService` — load-or-train once, batched prediction
+  over the HLS-prefix pipeline;
+* :class:`ResilientCongestionServer` — bounded admission, deadline-
+  aware micro-batching, worker supervision, graceful degradation;
+* :mod:`repro.serve.resilience` — retry / circuit-breaker / deadline
+  primitives;
+* :mod:`repro.serve.loadgen` — open-loop tail-latency measurement.
 """
 
+from repro.serve.loadgen import LoadReport, run_open_loop
 from repro.serve.registry import (
     MANIFEST_FORMAT_VERSION,
     ModelManifest,
     ModelRegistry,
     dataset_spec_fingerprint,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.serve.server import ResilientCongestionServer, ServerConfig
 from repro.serve.service import (
     CongestionService,
     PredictRequest,
@@ -21,4 +40,7 @@ __all__ = [
     "MANIFEST_FORMAT_VERSION", "ModelManifest", "ModelRegistry",
     "dataset_spec_fingerprint",
     "CongestionService", "PredictRequest", "PredictResponse",
+    "ResilientCongestionServer", "ServerConfig",
+    "CircuitBreaker", "Deadline", "ResiliencePolicy", "RetryPolicy",
+    "LoadReport", "run_open_loop",
 ]

@@ -30,20 +30,27 @@ import os
 import time
 from dataclasses import asdict, dataclass
 
-from repro.errors import ModelRegistryError, StaleModelError
+from repro.errors import (
+    CorruptArtifactError,
+    ModelRegistryError,
+    StaleModelError,
+)
 from repro.features.registry import N_FEATURES, registry_hash
 from repro.flow.pipeline import FlowOptions
 from repro.fpga.device import Device, device_fingerprint, xc7z020
 from repro.predict.predictor import CongestionPredictor
 from repro.util.cache import (
     CACHE_DIR_ENV,
-    writer_tmp_path,
     deep_pickle_dump,
     deep_pickle_load,
+    quarantine_artifact,
+    writer_tmp_path,
 )
+from repro.util.faults import fault_point
 
 #: bump when the persisted predictor layout changes incompatibly
-MANIFEST_FORMAT_VERSION = 1
+#: (v2: checksummed model artifacts)
+MANIFEST_FORMAT_VERSION = 2
 
 
 def dataset_spec_fingerprint(
@@ -106,6 +113,18 @@ class ModelRegistry:
         self.misses = 0
         self.stale = 0
         self.saves = 0
+        self.quarantined = 0
+
+    def _quarantine(self, *paths: str) -> list[str]:
+        """Park corrupt artifact files so they are never re-adopted;
+        returns the quarantine destinations actually written."""
+        moved = []
+        for path in paths:
+            dest = quarantine_artifact(path)
+            if dest is not None:
+                moved.append(dest)
+        self.quarantined += len(moved)
+        return moved
 
     # ------------------------------------------------------------------
     def _key(self, model_family: str, dataset_fingerprint: str,
@@ -152,12 +171,25 @@ class ModelRegistry:
         )
         family, fp = predictor.model_name, dataset_fingerprint
         dev = predictor.device
-        deep_pickle_dump(self.model_path(family, fp, dev), predictor)
+        deep_pickle_dump(self.model_path(family, fp, dev), predictor,
+                         site="registry.save")
+        # The manifest is written *after* the model and stays plain,
+        # human-readable JSON (truncation surfaces as a parse failure on
+        # load and quarantines the pair).  A crash between the two
+        # writes leaves a model without a manifest: a plain miss.
         manifest_path = self.manifest_path(family, fp, dev)
+        fault_point("registry.save.manifest")
         tmp = writer_tmp_path(manifest_path)
-        with open(tmp, "w") as fh:
-            fh.write(manifest.to_json() + "\n")
-        os.replace(tmp, manifest_path)
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(manifest.to_json() + "\n")
+            os.replace(tmp, manifest_path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
         self.saves += 1
         return manifest
 
@@ -167,7 +199,7 @@ class ModelRegistry:
         path = self.manifest_path(model_family, dataset_fingerprint, device)
         try:
             with open(path) as fh:
-                return ModelManifest.from_json(fh.read())
+                text = fh.read()
         except FileNotFoundError:
             # A never-trained calibration is a plain miss, even when
             # other calibrations' models exist in the same root —
@@ -178,10 +210,21 @@ class ModelRegistry:
                 f"no persisted {model_family!r} model for dataset "
                 f"{dataset_fingerprint[:12]}... under {self.root}"
             ) from None
-        except (OSError, ValueError, TypeError, KeyError) as exc:
+        try:
+            return ModelManifest.from_json(text)
+        except (json.JSONDecodeError, ValueError, TypeError, KeyError) \
+                as exc:
+            # Malformed or truncated manifest: the (manifest, model)
+            # pair is unusable as a whole — quarantine both and raise a
+            # typed error naming the offending path, never a raw
+            # JSONDecodeError.
             self.misses += 1
-            raise ModelRegistryError(
-                f"unreadable manifest {path}: {exc}"
+            self._quarantine(
+                path,
+                self.model_path(model_family, dataset_fingerprint, device),
+            )
+            raise CorruptArtifactError(
+                f"malformed manifest {path} (quarantined): {exc}"
             ) from exc
 
     def _validate(self, manifest: ModelManifest, device: Device) -> None:
@@ -213,26 +256,55 @@ class ModelRegistry:
     ) -> CongestionPredictor:
         """Load a persisted predictor after validating its manifest.
 
-        Raises :class:`ModelRegistryError` when nothing is persisted and
+        Raises :class:`ModelRegistryError` when nothing is persisted,
         :class:`StaleModelError` when a persisted model no longer
-        matches the running library.
+        matches the running library, and
+        :class:`~repro.errors.CorruptArtifactError` (after quarantining
+        the artifact pair) when checksum verification or
+        deserialization fails.  Transient I/O failures propagate as
+        ``OSError`` so callers can retry them.
         """
         device = device or xc7z020()
         manifest = self.read_manifest(model_family, dataset_fingerprint,
                                       device)
         self._validate(manifest, device)
         path = self.model_path(model_family, dataset_fingerprint, device)
+        manifest_path = self.manifest_path(model_family,
+                                           dataset_fingerprint, device)
         try:
-            predictor = deep_pickle_load(path)
+            predictor = deep_pickle_load(path, site="registry.load")
+        except FileNotFoundError:
+            # manifest without model: a crash between the two save
+            # writes cannot produce this (model is written first), so
+            # treat the orphan manifest as corrupt state
+            self.misses += 1
+            self._quarantine(manifest_path)
+            raise CorruptArtifactError(
+                f"manifest {manifest_path} has no model artifact "
+                f"{path} (manifest quarantined)"
+            ) from None
+        except CorruptArtifactError as exc:
+            self.misses += 1
+            self._quarantine(path, manifest_path)
+            raise CorruptArtifactError(
+                f"corrupt model artifact {path} (quarantined): {exc}"
+            ) from exc
+        except OSError:
+            self.misses += 1
+            raise  # transient I/O: retryable, nothing to quarantine
         except Exception as exc:
             self.misses += 1
-            raise ModelRegistryError(
-                f"unreadable model artifact {path}: {exc}"
+            self._quarantine(path, manifest_path)
+            raise CorruptArtifactError(
+                f"undeserializable model artifact {path} "
+                f"(quarantined): {exc}"
             ) from exc
         if not isinstance(predictor, CongestionPredictor):
             self.misses += 1
-            raise ModelRegistryError(
-                f"{path} does not contain a CongestionPredictor"
+            self._quarantine(path, manifest_path)
+            raise CorruptArtifactError(
+                f"{path} does not contain a CongestionPredictor "
+                f"(quarantined)"
             )
         self.hits += 1
         return predictor
@@ -264,5 +336,6 @@ class ModelRegistry:
             "misses": self.misses,
             "stale": self.stale,
             "saves": self.saves,
+            "quarantined": self.quarantined,
             "entries": entries,
         }

@@ -1,0 +1,266 @@
+"""Resilience primitives for the serving tier.
+
+Three small, composable pieces used by
+:class:`~repro.serve.server.ResilientCongestionServer` and (optionally)
+:class:`~repro.serve.service.CongestionService`:
+
+* :class:`Deadline` — a monotonic-clock deadline handed down from the
+  request edge through ``predict_batch`` into the flow pipeline, so a
+  slow stage surfaces as a typed
+  :class:`~repro.errors.DeadlineExceededError` instead of a silent
+  latency blow-up;
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic seeded jitter* (the same policy instance replays the
+  same delay sequence, which keeps the chaos suite reproducible);
+* :class:`CircuitBreaker` — classic closed / open / half-open breaker
+  guarding the registry-load and dataset-build dependencies: repeated
+  failures trip it and further calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` until the reset timeout
+  elapses and a probe call is allowed through.
+
+:class:`ResiliencePolicy` bundles one retry policy and the two breakers
+with the defaults the server uses.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import CircuitOpenError, DeadlineExceededError
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Deadline:
+    """A point on the monotonic clock by which work must finish."""
+
+    at: float  # time.monotonic() timestamp
+
+    @classmethod
+    def after(cls, seconds: float, *,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(at=clock() + seconds)
+
+    def remaining(self, *,
+                  clock: Callable[[], float] = time.monotonic) -> float:
+        return self.at - clock()
+
+    def expired(self, *,
+                clock: Callable[[], float] = time.monotonic) -> bool:
+        return clock() >= self.at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if already expired."""
+        late = -self.remaining()
+        if late >= 0:
+            raise DeadlineExceededError(
+                f"{what}: deadline exceeded by {late * 1e3:.1f}ms"
+            )
+
+
+def deadline_timestamp(deadline: "Deadline | float | None") -> float | None:
+    """Normalize a deadline argument to a monotonic timestamp."""
+    if deadline is None:
+        return None
+    if isinstance(deadline, Deadline):
+        return deadline.at
+    return float(deadline)
+
+
+# ----------------------------------------------------------------------
+# retries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``call`` retries ``fn`` on ``retry_on`` exceptions (transient
+    ``OSError`` by default — *not* typed registry misses, which retrying
+    cannot fix) up to ``max_attempts`` total attempts.  Jitter is drawn
+    from a ``random.Random(seed)`` re-created per call sequence, so
+    every invocation replays the identical delay schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    max_delay_s: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5  # delay is scaled by 1 + jitter * U[0, 1)
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delays(self) -> Iterator[float]:
+        """The (deterministic) backoff delays between attempts."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.max_delay_s,
+                        self.base_delay_s * self.multiplier ** attempt)
+            yield delay * (1.0 + self.jitter * rng.random())
+
+    def call(self, fn: Callable[[], object]):
+        """Run ``fn``, retrying on ``retry_on`` with backoff; the last
+        failure propagates once attempts are exhausted."""
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        delays = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except self.retry_on:
+                if attempt >= self.max_attempts:
+                    raise
+                self.sleep(next(delays))
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Closed / open / half-open circuit breaker (thread-safe).
+
+    ``failure_threshold`` consecutive failures trip the breaker; while
+    open, :meth:`call` raises :class:`CircuitOpenError` without touching
+    the dependency.  After ``reset_timeout_s`` one probe call is let
+    through (half-open): success closes the breaker, failure re-opens
+    it and restarts the timeout.
+    """
+
+    def __init__(self, name: str = "dependency", *,
+                 failure_threshold: int = 3,
+                 reset_timeout_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.rejections = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == "open" and \
+                self._clock() - self._opened_at >= self.reset_timeout_s:
+            self._state = "half_open"
+            self._probing = False
+        return self._state
+
+    def _admit(self) -> None:
+        """Reserve the right to call the dependency, or raise."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half_open" and not self._probing:
+                self._probing = True  # exactly one concurrent probe
+                return
+            self.rejections += 1
+            retry_in = max(
+                0.0,
+                self.reset_timeout_s - (self._clock() - self._opened_at),
+            )
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is {state}: "
+                f"{self._consecutive_failures} consecutive failures; "
+                f"retry in {retry_in:.2f}s"
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            was_half_open = self._state == "half_open"
+            if was_half_open or \
+                    self._consecutive_failures >= self.failure_threshold:
+                if self._state != "open":
+                    self.trips += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def call(self, fn: Callable[[], object], *,
+             on: tuple[type[BaseException], ...] = (Exception,)):
+        """Run ``fn`` through the breaker.  Only ``on`` exceptions count
+        as dependency failures (and propagate); others propagate without
+        affecting breaker state."""
+        self._admit()
+        try:
+            result = fn()
+        except on:
+            self.record_failure()
+            raise
+        except BaseException:
+            with self._lock:
+                self._probing = False
+            raise
+        self.record_success()
+        return result
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "rejections": self.rejections,
+                "trips": self.trips,
+            }
+
+
+# ----------------------------------------------------------------------
+# the bundle the serving tier wires in
+# ----------------------------------------------------------------------
+@dataclass
+class ResiliencePolicy:
+    """Retry + breaker wiring for a :class:`CongestionService`.
+
+    ``registry_retry`` retries transient registry I/O; the breakers
+    guard the two expensive dependencies.  A corrupt artifact is *not*
+    retried (it was quarantined — the fallback is retrain-in-place).
+    """
+
+    registry_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    registry_breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(
+            "model-registry", failure_threshold=3, reset_timeout_s=5.0
+        )
+    )
+    dataset_breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(
+            "dataset-build", failure_threshold=2, reset_timeout_s=30.0
+        )
+    )
+
+    def stats(self) -> dict:
+        return {
+            "registry_breaker": self.registry_breaker.stats(),
+            "dataset_breaker": self.dataset_breaker.stats(),
+        }

@@ -1,0 +1,400 @@
+"""Fault-tolerant concurrent serving front-end.
+
+:class:`ResilientCongestionServer` wraps a
+:class:`~repro.serve.service.CongestionService` with the machinery a
+production congestion-prediction endpoint needs:
+
+* **bounded admission** — requests enter a fixed-capacity queue;
+  when it is full, :meth:`submit` raises a typed
+  :class:`~repro.errors.OverloadedError` immediately (backpressure,
+  never unbounded buffering);
+* **deadline-aware micro-batching** — a worker claims the oldest
+  queued request, then keeps collecting arrivals for up to
+  ``batch_window_s`` (or ``batch_max`` requests) and answers the whole
+  batch through the service's single stacked
+  :meth:`~repro.serve.service.CongestionService.predict_batch`
+  invocation — the batching seam the throughput numbers come from;
+* **deadline propagation** — each request carries a deadline; expired
+  requests are failed with
+  :class:`~repro.errors.DeadlineExceededError` *before* work starts on
+  them, and the loosest deadline of the batch rides into the HLS-prefix
+  pipeline, which checks it between stages;
+* **worker supervision** — a worker that crashes (an escaped
+  exception, e.g. an injected ``server.worker`` fault) re-queues the
+  batch it was holding at the *front* of the queue and dies; the
+  supervisor thread notices and starts a replacement, so queued
+  requests are never dropped by a crash;
+* **graceful degradation** — the underlying service is wired with a
+  :class:`~repro.serve.resilience.ResiliencePolicy` (unless the caller
+  provides their own service wiring): corrupt registry artifacts are
+  quarantined and retrained in place, and responses carry
+  ``degraded=True`` instead of the server dying.
+
+The server is deliberately thread-based (stdlib only): prediction cost
+is NumPy-bound and the batching seam — not thread parallelism — is the
+throughput mechanism, so correctness under supervision is the design
+driver.  Calls into the shared service are serialized by an internal
+lock; multiple workers still matter because a crashed or
+deadline-blocked batch must not strand the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.resilience import Deadline, ResiliencePolicy
+from repro.serve.service import (
+    CongestionService,
+    PredictRequest,
+    PredictResponse,
+)
+from repro.util.faults import fault_point
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of the resilient serving front-end."""
+
+    #: admission-queue capacity; submits beyond it raise OverloadedError
+    max_queue: int = 64
+    #: how long a worker keeps collecting a micro-batch
+    batch_window_s: float = 0.01
+    #: micro-batch size cap
+    batch_max: int = 16
+    #: worker threads (each serves one micro-batch at a time)
+    workers: int = 1
+    #: default per-request deadline; None = no deadline
+    default_timeout_s: float | None = None
+    #: how often the supervisor scans for crashed workers
+    supervisor_poll_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.batch_max < 1:
+            raise ServeError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class _Item:
+    """One admitted request awaiting service."""
+
+    request: PredictRequest
+    future: Future
+    deadline: float | None  # monotonic timestamp
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+class _AdmissionQueue:
+    """Bounded FIFO with typed overload rejection and front re-queue.
+
+    ``put`` never blocks and never buffers beyond ``capacity``;
+    ``requeue_front`` bypasses the capacity check because its items
+    were already admitted once (crash recovery must not drop them).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._items: deque[_Item] = deque()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def put(self, item: _Item) -> None:
+        with self._cond:
+            if len(self._items) >= self.capacity:
+                raise OverloadedError(
+                    f"admission queue full ({self.capacity} requests "
+                    f"queued); retry later or raise max_queue"
+                )
+            self._items.append(item)
+            self._cond.notify()
+
+    def requeue_front(self, items: list[_Item]) -> None:
+        with self._cond:
+            self._items.extendleft(reversed(items))
+            self._cond.notify_all()
+
+    def wake_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def drain(self) -> list[_Item]:
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def take_batch(self, max_items: int, window_s: float,
+                   stop: threading.Event) -> list[_Item]:
+        """Block for the next micro-batch: the oldest item plus
+        whatever arrives within ``window_s`` (capped at ``max_items``).
+        Returns ``[]`` when woken by shutdown with nothing queued."""
+        with self._cond:
+            while not self._items:
+                if stop.is_set():
+                    return []
+                self._cond.wait(timeout=0.1)
+            batch = [self._items.popleft()]
+            horizon = time.monotonic() + window_s
+            while len(batch) < max_items and not stop.is_set():
+                if self._items:
+                    batch.append(self._items.popleft())
+                    continue
+                remaining = horizon - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+                if not self._items and time.monotonic() >= horizon:
+                    break
+            return batch
+
+
+class ResilientCongestionServer:
+    """Admission control + micro-batching + supervision around a
+    :class:`CongestionService`.  Use as a context manager, or call
+    :meth:`close` explicitly."""
+
+    def __init__(
+        self,
+        service: CongestionService,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        if service.resilience is None:
+            service.resilience = ResiliencePolicy()
+        self._queue = _AdmissionQueue(self.config.max_queue)
+        self._stop = threading.Event()
+        self._closed = False
+        self._service_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "submitted": 0, "completed": 0, "failed": 0,
+            "rejected_overload": 0, "deadline_misses": 0,
+            "batches": 0, "batched_requests": 0,
+            "worker_crashes": 0, "worker_restarts": 0,
+            "late_deliveries": 0, "last_worker_crash": "",
+        }
+        self._workers: list[threading.Thread] = []
+        self._workers_lock = threading.Lock()
+        for _ in range(self.config.workers):
+            self._workers.append(self._spawn_worker())
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> threading.Thread:
+        worker = threading.Thread(
+            target=self._worker_loop, name="serve-worker", daemon=True
+        )
+        worker.start()
+        return worker
+
+    def _supervise(self) -> None:
+        """Restart crashed workers until shutdown.  Queued requests
+        survive a crash: the dying worker re-queued them at the front,
+        and the replacement picks them up."""
+        while not self._stop.wait(self.config.supervisor_poll_s):
+            with self._workers_lock:
+                for i, worker in enumerate(self._workers):
+                    if worker.is_alive() or self._stop.is_set():
+                        continue
+                    self._workers[i] = self._spawn_worker()
+                    with self._stats_lock:
+                        self._stats["worker_restarts"] += 1
+
+    def close(self, *, timeout_s: float = 5.0) -> None:
+        """Stop accepting work, fail queued requests with
+        :class:`ServerClosedError`, join workers."""
+        self._closed = True
+        self._stop.set()
+        self._queue.wake_all()
+        for item in self._queue.drain():
+            self._fail(item, ServerClosedError(
+                "server closed before the request was served"
+            ))
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
+            worker.join(timeout=timeout_s)
+        self._supervisor.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ResilientCongestionServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the request edge
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest, *,
+               timeout_s: float | None = None) -> Future:
+        """Admit one request; returns a ``Future[PredictResponse]``.
+
+        Raises :class:`OverloadedError` when the admission queue is
+        full and :class:`ServerClosedError` after :meth:`close`.
+        ``timeout_s`` (default ``config.default_timeout_s``) becomes the
+        request's deadline.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        deadline = (
+            Deadline.after(timeout_s).at if timeout_s is not None else None
+        )
+        item = _Item(request=request, future=Future(), deadline=deadline)
+        try:
+            self._queue.put(item)
+        except OverloadedError:
+            with self._stats_lock:
+                self._stats["rejected_overload"] += 1
+            raise
+        with self._stats_lock:
+            self._stats["submitted"] += 1
+        return item.future
+
+    def predict(self, request: PredictRequest, *,
+                timeout_s: float | None = None) -> PredictResponse:
+        """Synchronous convenience: submit and wait.
+
+        The wait itself is bounded (deadline plus a margin, or 60s
+        without one) so a lost future can never hang the caller."""
+        future = self.submit(request, timeout_s=timeout_s)
+        wait = (timeout_s + 30.0) if timeout_s is not None else 60.0
+        return future.result(timeout=wait)
+
+    def warm(self) -> str:
+        """Eagerly load-or-train the model (see
+        :meth:`CongestionService.warm`); serving also warms lazily."""
+        with self._service_lock:
+            return self.service.warm()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self._queue.take_batch(
+                self.config.batch_max, self.config.batch_window_s,
+                self._stop,
+            )
+            if not batch:
+                continue
+            pending = set(range(len(batch)))
+            try:
+                # chaos seam: an injected fault here escapes the loop —
+                # the worker "crashes" while holding a claimed batch
+                fault_point("server.worker")
+                self._process_batch(batch, pending)
+            except BaseException as exc:
+                # worker crash: put the unresolved part of the batch
+                # back at the FRONT of the queue (admitted work is
+                # never dropped) and die; the supervisor restarts us
+                self._queue.requeue_front([batch[i] for i in sorted(pending)])
+                with self._stats_lock:
+                    self._stats["worker_crashes"] += 1
+                    self._stats["last_worker_crash"] = repr(exc)
+                return
+
+    def _fail(self, item: _Item, exc: Exception) -> None:
+        with self._stats_lock:
+            self._stats["failed"] += 1
+            if isinstance(exc, DeadlineExceededError):
+                self._stats["deadline_misses"] += 1
+        if not item.future.set_running_or_notify_cancel():
+            return  # caller cancelled while queued
+        item.future.set_exception(exc)
+
+    def _complete(self, item: _Item, response: PredictResponse) -> None:
+        with self._stats_lock:
+            self._stats["completed"] += 1
+        if not item.future.set_running_or_notify_cancel():
+            return
+        item.future.set_result(response)
+
+    def _process_batch(self, batch: list[_Item],
+                       pending: set[int]) -> None:
+        """Serve one micro-batch; every item leaves ``pending`` exactly
+        when its future is resolved (crash recovery re-queues the
+        rest)."""
+        now = time.monotonic()
+        live: list[tuple[int, _Item]] = []
+        for i, item in enumerate(batch):
+            if item.deadline is not None and now >= item.deadline:
+                pending.discard(i)
+                self._fail(item, DeadlineExceededError(
+                    f"request {item.request.design!r} expired after "
+                    f"{(now - item.submitted_at) * 1e3:.1f}ms in queue"
+                ))
+            else:
+                live.append((i, item))
+        if not live:
+            return
+
+        # extraction work is shared across the batch, so propagate the
+        # *loosest* member deadline; items that individually expire are
+        # settled on completion below
+        deadlines = [it.deadline for _, it in live if it.deadline is not None]
+        batch_deadline = (
+            max(deadlines)
+            if deadlines and len(deadlines) == len(live) else None
+        )
+        requests = [item.request for _, item in live]
+        try:
+            with self._service_lock:
+                responses = self.service.predict_batch(
+                    requests, deadline=batch_deadline
+                )
+        except ReproError as exc:
+            # typed serving failure (deadline blown mid-pipeline,
+            # dataset breaker open, unknown design...): settle every
+            # live future with it — callers always get an answer
+            for i, item in live:
+                pending.discard(i)
+                self._fail(item, exc)
+            return
+
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            if len(live) > 1:
+                self._stats["batched_requests"] += len(live)
+        done = time.monotonic()
+        for (i, item), response in zip(live, responses):
+            pending.discard(i)
+            if item.deadline is not None and done >= item.deadline:
+                # the answer exists but arrived late: deliver it (the
+                # work is done and correct) and account for the miss
+                with self._stats_lock:
+                    self._stats["late_deliveries"] += 1
+            self._complete(item, response)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Server, service, registry and breaker statistics."""
+        with self._stats_lock:
+            stats = dict(self._stats)
+        stats["queue_depth"] = len(self._queue)
+        stats["service"] = self.service.stats()
+        return stats

@@ -31,8 +31,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import threading
+
 from repro.dataset.build import build_paper_dataset
-from repro.errors import ModelRegistryError, ServeError, StaleModelError
+from repro.errors import (
+    CircuitOpenError,
+    CorruptArtifactError,
+    DeadlineExceededError,
+    ModelRegistryError,
+    ServeError,
+    StaleModelError,
+)
 from repro.features.extract import FeatureExtractor
 from repro.flow.c_to_fpga import design_cache_token
 from repro.flow.pipeline import FlowOptions, FlowPipeline
@@ -49,6 +58,7 @@ from repro.predict.predictor import (
     regions_from_predictions,
 )
 from repro.serve.registry import ModelRegistry, dataset_spec_fingerprint
+from repro.serve.resilience import ResiliencePolicy, deadline_timestamp
 from repro.util.cache import cached_property_store
 
 
@@ -78,6 +88,12 @@ class PredictResponse:
     #: when served as part of a batch)
     latency_seconds: float = 0.0
     batch_size: int = 1
+    #: True when the service fell back after a dependency failure (e.g.
+    #: a quarantined registry artifact forced a retrain-in-place, or the
+    #: trained model could not be persisted); the prediction itself is
+    #: from a fully fitted model, but operators should know
+    degraded: bool = False
+    degraded_reason: str = ""
 
 
 class CongestionService:
@@ -92,12 +108,16 @@ class CongestionService:
         combos: tuple[str, ...] | None = None,
         registry: ModelRegistry | str | None = "auto",
         n_jobs: int = 1,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self.model_name = model
         self.options = options or FlowOptions()
         self.device = device or xc7z020()
         self.combos = tuple(combos or PAPER_COMBINATIONS)
         self.n_jobs = n_jobs
+        #: optional retry/circuit-breaker wiring around the registry and
+        #: dataset-build dependencies (the resilient server installs one)
+        self.resilience = resilience
         if registry == "auto":
             try:
                 self.registry: ModelRegistry | None = ModelRegistry()
@@ -116,9 +136,16 @@ class CongestionService:
         self._designs: dict[tuple, object] = {}
         self._predictor: CongestionPredictor | None = None
         self._model_source = ""
+        self._degraded_reason = ""
+        #: concurrent workers may warm/build through one service; these
+        #: keep "train exactly once" and the design memo race-free
+        self._warm_lock = threading.Lock()
+        self._design_lock = threading.Lock()
         self._counters = {
             "predictions": 0, "batches": 0, "trained": 0,
             "registry_loads": 0, "stale_rejections": 0,
+            "quarantined_loads": 0, "registry_unavailable": 0,
+            "save_failures": 0,
         }
 
     # ------------------------------------------------------------------
@@ -130,38 +157,94 @@ class CongestionService:
 
     def warm(self) -> str:
         """Ensure a predictor is available; returns its source
-        ("memory", "registry" or "trained")."""
+        ("memory", "registry" or "trained").
+
+        With a :class:`~repro.serve.resilience.ResiliencePolicy`
+        installed, registry loads are retried on transient I/O and
+        guarded by a circuit breaker, and **graceful degradation**
+        applies: a corrupt (quarantined) artifact or an unavailable
+        registry falls back to retrain-in-place and every subsequent
+        response carries ``degraded=True`` with the reason, instead of
+        the process crashing or silently serving nothing.
+        """
+        with self._warm_lock:
+            return self._warm_locked()
+
+    def _warm_locked(self) -> str:
         if self._predictor is not None:
             self._model_source = "memory"
             return self._model_source
+        policy = self.resilience
 
         if self.registry is not None:
-            try:
-                self._predictor = self.registry.load(
+            def load():
+                return self.registry.load(
                     self.model_name, self.dataset_fingerprint,
                     device=self.device,
                 )
+
+            if policy is not None:
+                attempt = load
+
+                def load():
+                    return policy.registry_breaker.call(
+                        lambda: policy.registry_retry.call(attempt),
+                        on=(OSError,),
+                    )
+
+            try:
+                self._predictor = load()
                 self._counters["registry_loads"] += 1
                 self._model_source = "registry"
                 return self._model_source
             except StaleModelError:
                 self._counters["stale_rejections"] += 1
+            except CorruptArtifactError as exc:
+                # the registry already quarantined the artifact pair;
+                # retrain in place and flag responses as degraded
+                self._counters["quarantined_loads"] += 1
+                self._degraded_reason = (
+                    f"registry artifact quarantined; retrained in place "
+                    f"({exc})"
+                )
             except ModelRegistryError:
                 pass  # nothing persisted yet — train below
+            except (OSError, CircuitOpenError) as exc:
+                self._counters["registry_unavailable"] += 1
+                self._degraded_reason = (
+                    f"model registry unavailable; retrained in place "
+                    f"({exc})"
+                )
 
-        dataset = build_paper_dataset(
-            options=self.options, combos=self.combos, n_jobs=self.n_jobs,
-            device=self.device,
-        )
+        def build():
+            return build_paper_dataset(
+                options=self.options, combos=self.combos,
+                n_jobs=self.n_jobs, device=self.device,
+            )
+
+        if policy is not None:
+            dataset = policy.dataset_breaker.call(build)
+        else:
+            dataset = build()
         predictor = CongestionPredictor(self.model_name, self.device)
         predictor.fit(dataset)
         self._predictor = predictor
         self._counters["trained"] += 1
         self._model_source = "trained"
         if self.registry is not None:
-            self.registry.save(
-                predictor, dataset_fingerprint=self.dataset_fingerprint
-            )
+            try:
+                self.registry.save(
+                    predictor, dataset_fingerprint=self.dataset_fingerprint
+                )
+            except (OSError, ModelRegistryError) as exc:
+                if policy is None:
+                    raise
+                # resilient mode: an unpersistable model still serves —
+                # flag it so operators see the registry is unhealthy
+                self._counters["save_failures"] += 1
+                self._degraded_reason = (
+                    f"trained model could not be persisted ({exc})"
+                )
         return self._model_source
 
     @property
@@ -186,14 +269,16 @@ class CongestionService:
         token = design_cache_token(
             request.design, request.variant, self.options.scale, combined
         )
-        if token not in self._designs:
-            self._designs[token] = build(
-                request.design, scale=self.options.scale,
-                variant=request.variant,
-            )
-        return self._designs[token], token
+        with self._design_lock:
+            if token not in self._designs:
+                self._designs[token] = build(
+                    request.design, scale=self.options.scale,
+                    variant=request.variant,
+                )
+            return self._designs[token], token
 
-    def _extract_features(self, request: PredictRequest):
+    def _extract_features(self, request: PredictRequest,
+                          deadline: float | None = None):
         """(design, graph, nodes, X) for one unique (design, variant).
 
         Runs only the HLS-prefix pipeline; stage artifacts are memoized
@@ -202,7 +287,7 @@ class CongestionService:
         design, token = self._build_design(request)
         ctx = self.pipeline.run(
             design, self.device, self.options, cache_token=token,
-            persist=True,
+            persist=True, deadline=deadline,
         )
         extractor = FeatureExtractor(ctx.hls, ctx.graph, self.device)
         nodes, X = extractor.extract_all()
@@ -210,16 +295,27 @@ class CongestionService:
         # pipeline adopts the design the cached artifacts belong to.
         return ctx.design, ctx.graph, nodes, X
 
-    def predict(self, request: PredictRequest) -> PredictResponse:
+    def predict(self, request: PredictRequest, *,
+                deadline=None) -> PredictResponse:
         """Answer one request (a batch of one)."""
-        return self.predict_batch([request])[0]
+        return self.predict_batch([request], deadline=deadline)[0]
 
     def predict_batch(
-        self, requests: list[PredictRequest]
+        self, requests: list[PredictRequest], *, deadline=None,
     ) -> list[PredictResponse]:
-        """Answer many requests with one stacked model invocation."""
+        """Answer many requests with one stacked model invocation.
+
+        ``deadline`` (a :class:`~repro.serve.resilience.Deadline` or
+        monotonic timestamp) propagates into the HLS-prefix pipeline:
+        an expired budget raises
+        :class:`~repro.errors.DeadlineExceededError` for the whole
+        batch — extraction work is shared, so the batch deadline should
+        be the *loosest* member deadline (the server handles per-request
+        expiry around this call).
+        """
         if not requests:
             return []
+        deadline = deadline_timestamp(deadline)
         start = time.perf_counter()
         predictor = self.predictor
         source = self._model_source
@@ -229,11 +325,16 @@ class CongestionService:
         for i, request in enumerate(requests):
             groups.setdefault((request.design, request.variant), []).append(i)
         extracted = {
-            key: self._extract_features(requests[idx[0]])
+            key: self._extract_features(requests[idx[0]], deadline)
             for key, idx in groups.items()
         }
 
         # one model invocation over the stacked feature matrix
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                "deadline exceeded after feature extraction, before the "
+                "model invocation"
+            )
         order = list(extracted)
         X_all = np.vstack([extracted[key][3] for key in order])
         v_all, h_all = predictor.predict_matrix(X_all)
@@ -251,6 +352,7 @@ class CongestionService:
                               float(h.max()))
 
         elapsed = time.perf_counter() - start
+        degraded_reason = self._degraded_reason
         responses = []
         for request in requests:
             regions, n_ops, v_max, h_max = per_group[
@@ -265,6 +367,8 @@ class CongestionService:
                 model_source=source,
                 latency_seconds=elapsed / len(requests),
                 batch_size=len(requests),
+                degraded=bool(degraded_reason),
+                degraded_reason=degraded_reason,
             ))
         self._counters["predictions"] += len(requests)
         if len(requests) > 1:
@@ -277,10 +381,15 @@ class CongestionService:
         return {
             **self._counters,
             "model_source": self._model_source,
+            "degraded_reason": self._degraded_reason,
             "registry": (
                 self.registry.stats() if self.registry is not None else None
             ),
             "stage_cache": cached_property_store("flow_stages").stats(),
+            "resilience": (
+                self.resilience.stats() if self.resilience is not None
+                else None
+            ),
         }
 
 

@@ -6,11 +6,27 @@ reproduction; several tables reuse those artifacts.  Two tiers exist:
 
 * :class:`KeyedCache` — a thread-safe process-lifetime memo keyed by
   hashable tuples, with hit/miss/size accounting for the perf harness.
+  Builds are serialized **per key**: concurrent ``get_or_build`` calls
+  for the same key build exactly once, while builds of different keys
+  proceed in parallel.
 * :class:`DiskCache` — a content-addressed pickle store (key -> SHA-256
   file) that lets ``run_flow`` results survive across processes.  It is
   opt-in: set the ``REPRO_CACHE_DIR`` environment variable to a
   directory and every cached flow/dataset build is persisted there and
   reloaded by later processes.
+
+Persistence is **crash-safe end-to-end**: every artifact is written to
+a writer-unique temp file and published with ``os.replace`` (a process
+killed mid-write leaves only a temp file, never a truncated entry), and
+every artifact carries a header + SHA-256 checksum verified on load
+(:func:`checksummed_pack` / :func:`checksummed_unpack`).  An entry that
+fails verification is **quarantined** — renamed ``*.quarantined`` so no
+later process re-adopts it — and treated as a miss to be rebuilt.
+
+Write and read paths thread through the deterministic fault-injection
+seams in :mod:`repro.util.faults` (sites ``cache.write`` /
+``cache.read`` plus the ``.mid`` kill-mid-write sub-site), which is how
+the chaos suite proves all of the above.
 """
 
 from __future__ import annotations
@@ -22,28 +38,33 @@ import sys
 import threading
 from typing import Callable, Hashable
 
+from repro.errors import CorruptArtifactError
+from repro.util.faults import fault_point, fault_transform
+
 #: environment variable that switches the on-disk cache on
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: bump to invalidate every on-disk entry when artifact layouts change
-_DISK_FORMAT_VERSION = 1
+#: (v2: checksummed artifact container)
+_DISK_FORMAT_VERSION = 2
 
 
 class KeyedCache:
     """A dict-backed memo with a ``get_or_build`` convenience.
 
-    Safe to share across threads: lookups and builds are serialized
-    under one reentrant lock, so concurrent ``get_or_build`` calls for
-    the same key build the value exactly once.  Note the trade-off:
-    the build runs *inside* the lock, so concurrent builds of
-    different keys also serialize — cross-key parallelism belongs at
-    the process level (``build_paper_dataset(n_jobs=...)``), not in
-    threads sharing one store.
+    Safe to share across threads.  Lookups take one short-lived store
+    lock; builds run under a **per-key** lock, so concurrent
+    ``get_or_build`` calls for the same key build the value exactly
+    once while hits and builds on other keys proceed unblocked (the
+    serving tier's workers share one store across concurrent designs).
+    Per-key locks are reentrant: a builder may recursively build
+    *other* keys in the same cache.
     """
 
     def __init__(self) -> None:
         self._store: dict[Hashable, object] = {}
         self._lock = threading.RLock()
+        self._build_locks: dict[Hashable, threading.RLock] = {}
         self.hits = 0
         self.misses = 0
 
@@ -61,9 +82,24 @@ class KeyedCache:
             if key in self._store:
                 self.hits += 1
                 return self._store[key]
-            self.misses += 1
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = self._build_locks[key] = threading.RLock()
+        with build_lock:
+            with self._lock:
+                if key in self._store:  # built while we waited
+                    self.hits += 1
+                    return self._store[key]
+                self.misses += 1
             value = builder()
-            self._store[key] = value
+            with self._lock:
+                # store *then* retire the build lock: a thread arriving
+                # in between sees the hit, never a fresh lock to build
+                # under.  On builder failure the lock entry stays, so
+                # waiters retry serialized (still exactly-once on the
+                # first success).
+                self._store[key] = value
+                self._build_locks.pop(key, None)
             return value
 
     def put(self, key: Hashable, value) -> None:
@@ -77,6 +113,7 @@ class KeyedCache:
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self._build_locks.clear()
             self.hits = 0
             self.misses = 0
 
@@ -140,23 +177,80 @@ def writer_tmp_path(path: str) -> str:
     return f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
 
 
-def deep_pickle_dump(path: str, value) -> None:
-    """Atomically pickle ``value`` to ``path`` on a deep-stack thread.
+# ----------------------------------------------------------------------
+# checksummed artifact container
+# ----------------------------------------------------------------------
+#: artifact container header: magic + format byte, then SHA-256 digest
+ARTIFACT_MAGIC = b"RPRA\x02"
+_DIGEST_BYTES = 32
 
-    Unlike :meth:`DiskCache.put` this is *not* best-effort: failures
-    propagate (the model registry must never report a save that did not
-    happen).
+
+def checksummed_pack(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the header + SHA-256 artifact container."""
+    digest = hashlib.sha256(payload).digest()
+    return ARTIFACT_MAGIC + digest + payload
+
+
+def checksummed_unpack(blob: bytes, path: str) -> bytes:
+    """Verify and strip the artifact container; raises
+    :class:`~repro.errors.CorruptArtifactError` on any mismatch."""
+    header_len = len(ARTIFACT_MAGIC) + _DIGEST_BYTES
+    if len(blob) < header_len or not blob.startswith(ARTIFACT_MAGIC):
+        raise CorruptArtifactError(
+            f"corrupt artifact {path}: missing or unknown header "
+            f"(truncated write or foreign file)"
+        )
+    digest = blob[len(ARTIFACT_MAGIC):header_len]
+    payload = blob[header_len:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CorruptArtifactError(
+            f"corrupt artifact {path}: checksum mismatch over "
+            f"{len(payload)} payload bytes"
+        )
+    return payload
+
+
+def quarantine_path(path: str) -> str:
+    """Where :func:`quarantine_artifact` parks a corrupt ``path``."""
+    return path + ".quarantined"
+
+
+def quarantine_artifact(path: str) -> str | None:
+    """Move a corrupt artifact aside so it is never re-adopted.
+
+    Returns the quarantine destination, or ``None`` when the file was
+    already gone (e.g. a concurrent process quarantined it first).
     """
-
-    tmp = writer_tmp_path(path)
-
-    def dump():
-        with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-
+    dest = quarantine_path(path)
     try:
-        _run_with_deep_stack(dump)
+        os.replace(path, dest)
+    except OSError:
+        return None
+    return dest
+
+
+def atomic_checked_write(path: str, payload: bytes, *,
+                         site: str = "artifact.write") -> None:
+    """Atomically publish ``payload`` at ``path`` in the checksummed
+    container (write temp file, fsync, ``os.replace``).
+
+    ``site`` names the fault-injection seam; the write is split in two
+    halves around the ``<site>.mid`` sub-site so crash tests can kill
+    the process with a half-written temp file on disk.
+    """
+    fault_point(site)
+    blob = fault_transform(site, checksummed_pack(payload))
+    tmp = writer_tmp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            half = len(blob) // 2
+            fh.write(blob[:half])
+            fh.flush()
+            fault_point(f"{site}.mid")
+            fh.write(blob[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
     except BaseException:
         try:
             os.remove(tmp)
@@ -165,14 +259,37 @@ def deep_pickle_dump(path: str, value) -> None:
         raise
 
 
-def deep_pickle_load(path: str):
-    """Unpickle ``path`` on a deep-stack thread; failures propagate."""
+def checked_read(path: str, *, site: str = "artifact.read") -> bytes:
+    """Read and verify a checksummed artifact; raises ``OSError`` on
+    I/O failure and :class:`CorruptArtifactError` on verification
+    failure (the caller decides whether to quarantine)."""
+    fault_point(site)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return checksummed_unpack(blob, path)
 
-    def load():
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
 
-    return _run_with_deep_stack(load)
+def deep_pickle_dump(path: str, value, *,
+                     site: str = "artifact.write") -> None:
+    """Atomically pickle ``value`` to ``path`` (deep-stack pickling,
+    checksummed container).
+
+    Unlike :meth:`DiskCache.put` this is *not* best-effort: failures
+    propagate (the model registry must never report a save that did not
+    happen).
+    """
+    payload = _run_with_deep_stack(
+        lambda: pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    atomic_checked_write(path, payload, site=site)
+
+
+def deep_pickle_load(path: str, *, site: str = "artifact.read"):
+    """Unpickle a checksummed artifact from ``path``; I/O errors,
+    checksum mismatches (:class:`CorruptArtifactError`) and unpickling
+    failures all propagate."""
+    payload = checked_read(path, site=site)
+    return _run_with_deep_stack(lambda: pickle.loads(payload))
 
 
 class DiskCache:
@@ -181,7 +298,9 @@ class DiskCache:
     Keys must be tuples of primitives with a stable ``repr`` (the same
     keys :class:`KeyedCache` uses).  Writes are atomic (temp file +
     ``os.replace``) so concurrent builder processes never observe a
-    torn entry; corrupt or unreadable entries degrade to a miss.
+    torn entry, and every entry is checksummed: a corrupt or truncated
+    entry is quarantined (``*.quarantined``) and degrades to a miss
+    instead of poisoning later processes.
     """
 
     def __init__(self, root: str) -> None:
@@ -189,6 +308,8 @@ class DiskCache:
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.write_failures = 0
 
     def path_for(self, key: Hashable) -> str:
         digest = hashlib.sha256(
@@ -198,37 +319,31 @@ class DiskCache:
 
     def get(self, key: Hashable, default=None):
         path = self.path_for(key)
-
-        def load():
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-
         try:
-            value = _run_with_deep_stack(load)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, RecursionError):
+            value = deep_pickle_load(path, site="cache.read")
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except (CorruptArtifactError, pickle.PickleError, EOFError,
+                AttributeError, ImportError, RecursionError):
+            # verified-corrupt or undeserializable: park it so no later
+            # process wastes time (or worse, half-succeeds) on it
+            if quarantine_artifact(path) is not None:
+                self.quarantined += 1
+            self.misses += 1
+            return default
+        except OSError:
             self.misses += 1
             return default
         self.hits += 1
         return value
 
     def put(self, key: Hashable, value) -> None:
-        path = self.path_for(key)
-        tmp = writer_tmp_path(path)
-
-        def dump():
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-
         try:
-            _run_with_deep_stack(dump)
+            deep_pickle_dump(self.path_for(key), value, site="cache.write")
         except Exception:
             # Persisting is best-effort; the in-memory result stands.
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            self.write_failures += 1
 
     def __contains__(self, key: Hashable) -> bool:
         return os.path.exists(self.path_for(key))
@@ -237,6 +352,8 @@ class DiskCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
+            "write_failures": self.write_failures,
             "size": sum(
                 1 for name in os.listdir(self.root) if name.endswith(".pkl")
             ),

@@ -218,3 +218,48 @@ def test_routing_options_in_flow_cache_keys():
     assert a is not b
     c = run_flow("face_detection", "baseline", options=_options())
     assert c is a
+
+
+# ----------------------------------------------------------------------
+# deadline propagation + stage fault seam
+# ----------------------------------------------------------------------
+def test_expired_deadline_fails_before_first_stage():
+    import time
+
+    from repro.errors import DeadlineExceededError
+
+    design = build_kernel("face_detection", scale=SCALE)
+    pipe = FlowPipeline.default().subset(["graph"])
+    with pytest.raises(DeadlineExceededError, match="before stage 'hls'"):
+        pipe.run(design, options=_options(),
+                 deadline=time.monotonic() - 1.0)
+
+
+def test_slow_stage_under_deadline_raises_typed():
+    """An injected slow stage eats the budget; the *next* stage boundary
+    surfaces a typed DeadlineExceededError naming what did complete."""
+    import time
+
+    from repro.errors import DeadlineExceededError
+    from repro.util.faults import FaultSpec, injected_faults
+
+    design = build_kernel("face_detection", scale=SCALE)
+    pipe = FlowPipeline.default().subset(["graph"])
+    with injected_faults(
+        [FaultSpec("stage.hls", "delay", delay_seconds=0.15)]
+    ):
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            pipe.run(design, options=_options(),
+                     deadline=time.monotonic() + 0.05)
+    assert "before stage 'graph'" in str(exc_info.value)
+    assert "'hls'" in str(exc_info.value)  # the completed prefix
+
+
+def test_generous_deadline_does_not_interfere():
+    import time
+
+    design = build_kernel("face_detection", scale=SCALE)
+    pipe = FlowPipeline.default().subset(["graph"])
+    ctx = pipe.run(design, options=_options(),
+                   deadline=time.monotonic() + 300.0)
+    assert ctx.graph is not None

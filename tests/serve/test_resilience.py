@@ -1,0 +1,184 @@
+"""Retry, circuit-breaker and deadline primitives."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, DeadlineExceededError
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+    deadline_timestamp,
+)
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_deadline_tracks_injected_clock():
+    now = [100.0]
+    deadline = Deadline.after(5.0, clock=lambda: now[0])
+    assert deadline.remaining(clock=lambda: now[0]) == 5.0
+    assert not deadline.expired(clock=lambda: now[0])
+    now[0] = 105.0
+    assert deadline.expired(clock=lambda: now[0])
+
+
+def test_deadline_check_raises_typed():
+    deadline = Deadline(at=0.0)  # monotonic epoch: long past
+    with pytest.raises(DeadlineExceededError, match="budget exhausted"):
+        deadline.check("budget exhausted")
+
+
+def test_deadline_timestamp_normalizes():
+    assert deadline_timestamp(None) is None
+    assert deadline_timestamp(12.5) == 12.5
+    assert deadline_timestamp(Deadline(at=7.0)) == 7.0
+
+
+# ----------------------------------------------------------------------
+# retries
+# ----------------------------------------------------------------------
+def test_retry_delays_are_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.01,
+                         max_delay_s=0.05, seed=11)
+    first = list(policy.delays())
+    second = list(policy.delays())
+    assert first == second  # same seed -> same jitter schedule
+    assert len(first) == 4
+    # exponential base capped at max_delay_s, jitter adds at most 50%
+    assert all(0.01 <= d <= 0.05 * 1.5 for d in first)
+
+
+def test_retry_recovers_from_transient_failures():
+    sleeps = []
+    policy = RetryPolicy(max_attempts=3, sleep=sleeps.append)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert policy.call(flaky) == "ok"
+    assert len(attempts) == 3
+    assert sleeps == list(RetryPolicy(max_attempts=3).delays())
+
+
+def test_retry_exhaustion_propagates_last_error():
+    policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise OSError("still down")
+
+    with pytest.raises(OSError, match="still down"):
+        policy.call(always_fails)
+    assert len(calls) == 2
+
+
+def test_retry_does_not_retry_unlisted_errors():
+    policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+    calls = []
+
+    def typed_failure():
+        calls.append(1)
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        policy.call(typed_failure)
+    assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def _breaker(now, threshold=3, reset=5.0):
+    return CircuitBreaker("dep", failure_threshold=threshold,
+                          reset_timeout_s=reset, clock=lambda: now[0])
+
+
+def _boom():
+    raise OSError("dependency down")
+
+
+def test_breaker_trips_after_threshold_and_fails_fast():
+    now = [0.0]
+    breaker = _breaker(now)
+    for _ in range(3):
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+    assert breaker.state == "open"
+    calls = []
+    with pytest.raises(CircuitOpenError, match="'dep'"):
+        breaker.call(lambda: calls.append(1))
+    assert calls == []  # the dependency was never touched
+    stats = breaker.stats()
+    assert stats["trips"] == 1
+    assert stats["rejections"] == 1
+
+
+def test_breaker_half_open_probe_success_closes():
+    now = [0.0]
+    breaker = _breaker(now)
+    for _ in range(3):
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+    now[0] = 6.0  # reset timeout elapsed
+    assert breaker.state == "half_open"
+    assert breaker.call(lambda: "recovered") == "recovered"
+    assert breaker.state == "closed"
+    assert breaker.call(lambda: "normal") == "normal"
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    now = [0.0]
+    breaker = _breaker(now)
+    for _ in range(3):
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+    now[0] = 6.0
+    with pytest.raises(OSError):
+        breaker.call(_boom)  # the single probe fails
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "nope")
+    now[0] = 20.0  # a full fresh timeout later, probing resumes
+    assert breaker.call(lambda: "recovered") == "recovered"
+
+
+def test_breaker_success_resets_failure_streak():
+    now = [0.0]
+    breaker = _breaker(now, threshold=2)
+    with pytest.raises(OSError):
+        breaker.call(_boom)
+    breaker.call(lambda: "fine")  # streak broken
+    with pytest.raises(OSError):
+        breaker.call(_boom)
+    assert breaker.state == "closed"  # 1 < threshold again
+
+
+def test_breaker_uncounted_exceptions_do_not_trip():
+    now = [0.0]
+    breaker = _breaker(now, threshold=1)
+
+    def typed():
+        raise ValueError("caller bug, not dependency failure")
+
+    with pytest.raises(ValueError):
+        breaker.call(typed, on=(OSError,))
+    assert breaker.state == "closed"
+
+
+def test_breaker_rejects_bad_threshold():
+    with pytest.raises(ValueError, match="failure_threshold"):
+        CircuitBreaker(failure_threshold=0)
+
+
+def test_policy_bundle_names_both_breakers():
+    policy = ResiliencePolicy()
+    stats = policy.stats()
+    assert stats["registry_breaker"]["name"] == "model-registry"
+    assert stats["dataset_breaker"]["name"] == "dataset-build"

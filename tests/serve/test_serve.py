@@ -9,7 +9,12 @@ import numpy as np
 import pytest
 
 from repro.dataset import build_paper_dataset
-from repro.errors import ModelRegistryError, ServeError, StaleModelError
+from repro.errors import (
+    CorruptArtifactError,
+    ModelRegistryError,
+    ServeError,
+    StaleModelError,
+)
 from repro.flow import FlowOptions
 from repro.fpga.device import small_test_device
 from repro.impl.routing import RoutingOptions
@@ -18,6 +23,7 @@ from repro.serve import (
     CongestionService,
     ModelRegistry,
     PredictRequest,
+    ResiliencePolicy,
     dataset_spec_fingerprint,
 )
 
@@ -109,6 +115,72 @@ def test_registry_slots_coexist_per_device(tmp_path, trained):
     a = registry.load("linear", fingerprint)  # default xc7z020
     b = registry.load("linear", fingerprint, device=small_test_device())
     assert a.device.name != b.device.name
+
+
+def test_registry_malformed_manifest_is_typed_and_quarantined(
+    tmp_path, trained
+):
+    """A truncated/garbled manifest surfaces as a typed
+    CorruptArtifactError naming the offending path — never a raw
+    JSONDecodeError — and the (manifest, model) pair is quarantined."""
+    predictor, _, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+    manifest_path = registry.manifest_path("linear", fingerprint)
+    model_path = registry.model_path("linear", fingerprint)
+    with open(manifest_path) as fh:
+        text = fh.read()
+    with open(manifest_path, "w") as fh:
+        fh.write(text[: len(text) // 2])  # torn JSON
+
+    with pytest.raises(CorruptArtifactError, match="malformed manifest") \
+            as exc_info:
+        registry.load("linear", fingerprint)
+    assert manifest_path in str(exc_info.value)
+    assert not isinstance(exc_info.value, json.JSONDecodeError)
+    assert os.path.exists(manifest_path + ".quarantined")
+    assert os.path.exists(model_path + ".quarantined")
+    assert registry.stats()["quarantined"] == 2
+    # the slot degraded to a plain miss, not a poisoned load
+    with pytest.raises(ModelRegistryError, match="no persisted"):
+        ModelRegistry(str(tmp_path)).load("linear", fingerprint)
+
+
+def test_service_degrades_after_corrupt_artifact(tmp_path, trained):
+    """Graceful degradation end to end: a corrupt persisted model is
+    quarantined, the service retrains in place, and every response is
+    flagged degraded with the reason."""
+    predictor, _, fingerprint = trained
+    registry = ModelRegistry(str(tmp_path))
+    registry.save(predictor, dataset_fingerprint=fingerprint)
+    path = registry.model_path("linear", fingerprint)
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[-1] ^= 0xFF  # flip one payload byte: checksum must catch it
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS,
+        registry=ModelRegistry(str(tmp_path)),
+        resilience=ResiliencePolicy(),
+    )
+    assert service.warm() == "trained"  # retrained in place
+    response = service.predict(PredictRequest("face_detection"))
+    assert response.degraded
+    assert "quarantined" in response.degraded_reason
+    stats = service.stats()
+    assert stats["quarantined_loads"] == 1
+    assert stats["trained"] == 1
+    # the retrained model was re-persisted over the quarantined slot:
+    # a fresh service loads it cleanly and is NOT degraded
+    fresh = CongestionService(
+        "linear", options=_options(), combos=COMBOS,
+        registry=ModelRegistry(str(tmp_path)),
+        resilience=ResiliencePolicy(),
+    )
+    assert fresh.warm() == "registry"
+    assert not fresh.predict(PredictRequest("face_detection")).degraded
 
 
 def test_registry_missing_model(tmp_path):

@@ -1,0 +1,249 @@
+"""The fault-tolerant serving front-end.
+
+Server *mechanics* (admission, micro-batching, deadlines, supervision,
+shutdown) are exercised against a stub service so each behavior is
+deterministic and cheap; the end-to-end degraded-serving path against a
+real trained model lives in ``test_serve.py`` and the chaos/crash-safety
+suite in ``test_crash_safety.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve import (
+    PredictRequest,
+    PredictResponse,
+    ResilientCongestionServer,
+    ServerConfig,
+)
+from repro.util.faults import FaultSpec, injected_faults
+
+
+class StubService:
+    """Duck-typed CongestionService: instant, inspectable answers."""
+
+    def __init__(self):
+        self.resilience = None
+        self.batches = []  # (requests, deadline) per predict_batch call
+        self.lock = threading.Lock()
+
+    def warm(self):
+        return "trained"
+
+    def predict_batch(self, requests, *, deadline=None):
+        with self.lock:
+            self.batches.append((list(requests), deadline))
+        return [
+            PredictResponse(request=r, model_source="stub")
+            for r in requests
+        ]
+
+    def stats(self):
+        return {}
+
+
+class BlockingService(StubService):
+    """Holds every batch until ``release`` is set (queue-pressure tests)."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def predict_batch(self, requests, *, deadline=None):
+        self.started.set()
+        assert self.release.wait(timeout=10.0)
+        return super().predict_batch(requests, deadline=deadline)
+
+
+def test_config_validation():
+    with pytest.raises(ServeError, match="max_queue"):
+        ServerConfig(max_queue=0)
+    with pytest.raises(ServeError, match="workers"):
+        ServerConfig(workers=0)
+    with pytest.raises(ServeError, match="batch_max"):
+        ServerConfig(batch_max=0)
+
+
+def test_submit_and_predict_roundtrip():
+    service = StubService()
+    with ResilientCongestionServer(service, ServerConfig()) as server:
+        assert server.warm() == "trained"
+        response = server.predict(PredictRequest("face_detection"))
+        assert response.model_source == "stub"
+        stats = server.stats()
+        assert stats["submitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+
+
+def test_micro_batching_coalesces_concurrent_requests():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.25, batch_max=16)
+    with ResilientCongestionServer(service, config) as server:
+        futures = [
+            server.submit(PredictRequest("face_detection"))
+            for _ in range(6)
+        ]
+        responses = [f.result(timeout=10) for f in futures]
+    assert all(r.model_source == "stub" for r in responses)
+    # all six arrived well inside one 250ms window: far fewer service
+    # invocations than requests (typically 1-2, never 6)
+    assert 1 <= len(service.batches) <= 3
+    assert sum(len(reqs) for reqs, _ in service.batches) == 6
+    assert max(len(reqs) for reqs, _ in service.batches) >= 2
+
+
+def test_batch_max_caps_coalescing():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.25, batch_max=2)
+    with ResilientCongestionServer(service, config) as server:
+        futures = [
+            server.submit(PredictRequest("face_detection"))
+            for _ in range(5)
+        ]
+        for future in futures:
+            future.result(timeout=10)
+    assert all(len(reqs) <= 2 for reqs, _ in service.batches)
+
+
+def test_overload_is_rejected_typed_never_buffered():
+    service = BlockingService()
+    config = ServerConfig(max_queue=2, batch_max=1, batch_window_s=0.0)
+    with ResilientCongestionServer(service, config) as server:
+        first = server.submit(PredictRequest("a"))
+        assert service.started.wait(timeout=5)  # worker holds request 1
+        queued = [server.submit(PredictRequest("b")) for _ in range(2)]
+        with pytest.raises(OverloadedError, match="admission queue full"):
+            server.submit(PredictRequest("c"))
+        assert server.stats()["rejected_overload"] == 1
+        service.release.set()
+        for future in (first, *queued):
+            future.result(timeout=10)  # admitted work all completes
+    assert server.stats()["completed"] == 3
+
+
+def test_expired_request_fails_typed_before_service_work():
+    service = StubService()
+    with ResilientCongestionServer(service, ServerConfig()) as server:
+        future = server.submit(PredictRequest("a"), timeout_s=0.0)
+        with pytest.raises(DeadlineExceededError, match="expired"):
+            future.result(timeout=10)
+        stats = server.stats()
+        assert stats["deadline_misses"] == 1
+        assert stats["failed"] == 1
+    assert service.batches == []  # never reached the service
+
+
+def test_batch_deadline_is_loosest_member():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.25)
+    with ResilientCongestionServer(service, config) as server:
+        f1 = server.submit(PredictRequest("a"), timeout_s=5.0)
+        f2 = server.submit(PredictRequest("b"), timeout_s=60.0)
+        f1.result(timeout=10)
+        f2.result(timeout=10)
+    batched = [b for b in service.batches if len(b[0]) == 2]
+    assert batched, "requests were not coalesced into one batch"
+    deadline = batched[0][1]
+    assert deadline is not None
+    # the propagated deadline is the LOOSEST member's (about 60s out)
+    assert deadline - time.monotonic() > 10.0
+
+
+def test_mixed_deadlines_propagate_none():
+    """One member without a deadline means the shared extraction has no
+    budget to enforce — per-request expiry is still handled per item."""
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.25)
+    with ResilientCongestionServer(service, config) as server:
+        f1 = server.submit(PredictRequest("a"), timeout_s=5.0)
+        f2 = server.submit(PredictRequest("b"))  # no deadline
+        f1.result(timeout=10)
+        f2.result(timeout=10)
+    batched = [b for b in service.batches if len(b[0]) == 2]
+    if batched:  # coalescing is timing-dependent; the property is not
+        assert batched[0][1] is None
+
+
+def test_worker_crash_restarts_without_dropping_requests():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.0, supervisor_poll_s=0.01)
+    with ResilientCongestionServer(service, config) as server:
+        with injected_faults(
+            [FaultSpec("server.worker", "error", max_fires=1)]
+        ):
+            # first claim crashes the worker; the request is re-queued,
+            # the supervisor restarts the worker, the retry answers
+            response = server.predict(PredictRequest("face_detection"))
+        assert response.model_source == "stub"
+        deadline = time.monotonic() + 5.0
+        while server.stats()["worker_restarts"] < 1:
+            assert time.monotonic() < deadline, "supervisor never restarted"
+            time.sleep(0.01)
+        stats = server.stats()
+        assert stats["worker_crashes"] == 1
+        assert "InjectedFault" in stats["last_worker_crash"]
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+
+
+def test_repeated_crashes_still_serve_everything():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.0, workers=2,
+                          supervisor_poll_s=0.01)
+    with ResilientCongestionServer(service, config) as server:
+        with injected_faults(
+            [FaultSpec("server.worker", "error", probability=0.5,
+                       max_fires=4)], seed=3,
+        ):
+            futures = [
+                server.submit(PredictRequest("face_detection"))
+                for _ in range(10)
+            ]
+            responses = [f.result(timeout=30) for f in futures]
+    assert len(responses) == 10
+    assert server.stats()["failed"] == 0
+
+
+def test_service_error_settles_every_live_future():
+    class FailingService(StubService):
+        def predict_batch(self, requests, *, deadline=None):
+            raise ServeError("unknown design")
+
+    with ResilientCongestionServer(
+        FailingService(), ServerConfig(batch_window_s=0.1)
+    ) as server:
+        futures = [server.submit(PredictRequest("nope")) for _ in range(3)]
+        for future in futures:
+            with pytest.raises(ServeError, match="unknown design"):
+                future.result(timeout=10)
+        stats = server.stats()
+        assert stats["failed"] == 3
+        assert stats["worker_crashes"] == 0  # typed failure, not a crash
+
+
+def test_close_fails_queued_requests_typed():
+    service = BlockingService()
+    config = ServerConfig(batch_max=1, batch_window_s=0.0)
+    server = ResilientCongestionServer(service, config)
+    held = server.submit(PredictRequest("a"))
+    assert service.started.wait(timeout=5)
+    queued = server.submit(PredictRequest("b"))
+    # close while the worker is mid-batch: the queued request is failed
+    # typed; the in-flight one is NOT abandoned
+    server.close(timeout_s=0.2)
+    with pytest.raises(ServerClosedError):
+        queued.result(timeout=10)
+    with pytest.raises(ServerClosedError, match="closed"):
+        server.submit(PredictRequest("c"))
+    service.release.set()
+    assert held.result(timeout=10).model_source == "stub"

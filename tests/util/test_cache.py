@@ -4,12 +4,19 @@ import concurrent.futures
 import os
 import threading
 
+import pytest
+
+from repro.errors import CorruptArtifactError
 from repro.util.cache import (
     CACHE_DIR_ENV,
     DiskCache,
     KeyedCache,
+    checksummed_pack,
+    checksummed_unpack,
     disk_cache_from_env,
+    quarantine_path,
 )
+from repro.util.faults import FaultSpec, injected_faults
 
 
 def test_keyed_cache_stats():
@@ -43,6 +50,71 @@ def test_keyed_cache_builds_once_under_threads():
     stats = cache.stats()
     assert stats["misses"] == 1
     assert stats["hits"] == 7
+
+
+def test_keyed_cache_different_keys_build_concurrently():
+    """Regression for the global build lock: building key A must not
+    serialize behind an in-flight build of key B.  Builder A refuses to
+    finish until builder B has *started* — with one global lock this
+    deadlocks (and times out); with per-key locks both proceed."""
+    cache = KeyedCache()
+    b_started = threading.Event()
+
+    def build_a():
+        assert b_started.wait(timeout=5.0), \
+            "builder B never started: builds are globally serialized"
+        return "a"
+
+    def build_b():
+        b_started.set()
+        return "b"
+
+    with concurrent.futures.ThreadPoolExecutor(2) as pool:
+        fut_a = pool.submit(cache.get_or_build, "a", build_a)
+        fut_b = pool.submit(cache.get_or_build, "b", build_b)
+        assert fut_b.result(timeout=10) == "b"
+        assert fut_a.result(timeout=10) == "a"
+    assert cache.stats() == {"hits": 0, "misses": 2, "size": 2}
+
+
+def test_keyed_cache_failed_build_retries_then_succeeds():
+    cache = KeyedCache()
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("first build dies")
+        return "ok"
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_build("k", flaky)
+    assert cache.get_or_build("k", flaky) == "ok"
+    assert cache.get_or_build("k", flaky) == "ok"  # memo hit now
+    assert len(attempts) == 2
+
+
+# ----------------------------------------------------------------------
+# checksummed artifact container
+# ----------------------------------------------------------------------
+def test_checksummed_container_roundtrip():
+    payload = b"model bytes" * 100
+    assert checksummed_unpack(checksummed_pack(payload), "p") == payload
+
+
+def test_checksummed_container_rejects_bitflip():
+    blob = bytearray(checksummed_pack(b"model bytes"))
+    blob[-1] ^= 0xFF
+    with pytest.raises(CorruptArtifactError, match="checksum mismatch"):
+        checksummed_unpack(bytes(blob), "p")
+
+
+def test_checksummed_container_rejects_truncation_and_foreign_bytes():
+    blob = checksummed_pack(b"model bytes")
+    with pytest.raises(CorruptArtifactError, match="missing or unknown"):
+        checksummed_unpack(blob[:30], "p")  # cut inside the header
+    with pytest.raises(CorruptArtifactError, match="missing or unknown"):
+        checksummed_unpack(b"not an artifact", "p")
 
 
 def test_disk_cache_roundtrip(tmp_path):
@@ -115,3 +187,51 @@ def test_disk_cache_handles_numpy_payloads(tmp_path):
     out = cache.get(("arr",))
     assert isinstance(out, np.ndarray)
     assert out.sum() == 45.0
+
+
+# ----------------------------------------------------------------------
+# quarantine + fault injection
+# ----------------------------------------------------------------------
+def test_disk_cache_quarantines_truncated_entry_and_rebuilds(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put(("k",), "value")
+    path = cache.path_for(("k",))
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])  # torn write stand-in
+
+    assert cache.get(("k",), default="fallback") == "fallback"
+    assert not os.path.exists(path)  # never re-adopted
+    assert os.path.exists(quarantine_path(path))
+    assert cache.stats()["quarantined"] == 1
+
+    cache.put(("k",), "rebuilt")  # the slot is usable again
+    assert cache.get(("k",)) == "rebuilt"
+
+
+def test_disk_cache_quarantines_checksum_mismatch(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    with injected_faults([FaultSpec("cache.write", "corrupt")]):
+        cache.put(("k",), "value")  # one payload byte flipped on disk
+    assert cache.get(("k",), default="fallback") == "fallback"
+    assert os.path.exists(quarantine_path(cache.path_for(("k",))))
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_disk_cache_write_fault_degrades_to_unpersisted(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    with injected_faults([FaultSpec("cache.write", "error")]):
+        cache.put(("k",), "value")  # must not raise: best-effort
+    assert cache.stats()["write_failures"] == 1
+    assert cache.get(("k",), default="fallback") == "fallback"
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert leftovers == []
+
+
+def test_disk_cache_read_fault_is_a_miss_not_a_crash(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put(("k",), "value")
+    with injected_faults([FaultSpec("cache.read", "error")]):
+        assert cache.get(("k",), default="fallback") == "fallback"
+    assert cache.get(("k",)) == "value"  # entry itself is intact

@@ -1,0 +1,156 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.util import faults
+from repro.util.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    fault_transform,
+    injected_faults,
+    parse_fault_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# specs and plan strings
+# ----------------------------------------------------------------------
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("cache.write", "explode")
+
+
+def test_spec_rejects_bad_probability():
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec("cache.write", "error", probability=1.5)
+
+
+def test_parse_fault_plan():
+    specs = parse_fault_plan(
+        "cache.write:error:p=0.5,max=3;stage.graph:delay:s=0.2;"
+        "registry.save:crash:skip=2"
+    )
+    assert [s.site for s in specs] == [
+        "cache.write", "stage.graph", "registry.save"
+    ]
+    assert specs[0].kind == "error"
+    assert specs[0].probability == 0.5
+    assert specs[0].max_fires == 3
+    assert specs[1].delay_seconds == 0.2
+    assert specs[2].skip == 2
+
+
+def test_parse_fault_plan_rejects_garbage():
+    with pytest.raises(ValueError, match="expected 'site:kind"):
+        parse_fault_plan("justasite")
+    with pytest.raises(ValueError, match="unknown fault option"):
+        parse_fault_plan("cache.write:error:frequency=2")
+
+
+# ----------------------------------------------------------------------
+# firing semantics
+# ----------------------------------------------------------------------
+def test_error_kind_raises_oserror():
+    injector = FaultInjector([FaultSpec("cache.write", "error")])
+    with pytest.raises(InjectedFault) as exc_info:
+        injector.fire("cache.write")
+    assert isinstance(exc_info.value, OSError)
+    assert injector.stats() == {
+        "fired": 1, "by_site": {"cache.write": 1}
+    }
+
+
+def test_non_matching_site_is_a_noop():
+    injector = FaultInjector([FaultSpec("cache.write", "error")])
+    injector.fire("cache.read")
+    assert injector.stats()["fired"] == 0
+
+
+def test_glob_sites_match():
+    injector = FaultInjector([FaultSpec("stage.*", "error")])
+    with pytest.raises(InjectedFault):
+        injector.fire("stage.graph")
+
+
+def test_skip_and_max_fires_window():
+    injector = FaultInjector(
+        [FaultSpec("s", "error", skip=1, max_fires=2)]
+    )
+    injector.fire("s")  # skipped
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            injector.fire("s")
+    injector.fire("s")  # max_fires exhausted
+    assert injector.stats()["fired"] == 2
+
+
+def test_probability_stream_is_deterministic():
+    def run():
+        injector = FaultInjector(
+            [FaultSpec("s", "error", probability=0.4)], seed=7
+        )
+        fired = []
+        for i in range(50):
+            try:
+                injector.fire("s")
+            except InjectedFault:
+                fired.append(i)
+        return fired
+
+    first, second = run(), run()
+    assert first == second
+    assert 0 < len(first) < 50  # actually probabilistic, not all-or-none
+
+
+def test_corrupt_transform_flips_one_deterministic_byte():
+    payload = bytes(range(64))
+    out1 = FaultInjector(
+        [FaultSpec("s", "corrupt")], seed=3
+    ).transform("s", payload)
+    out2 = FaultInjector(
+        [FaultSpec("s", "corrupt")], seed=3
+    ).transform("s", payload)
+    assert out1 == out2 != payload
+    diffs = [i for i, (a, b) in enumerate(zip(out1, payload)) if a != b]
+    assert len(diffs) == 1
+
+
+def test_transform_passthrough_without_match():
+    injector = FaultInjector([FaultSpec("other", "corrupt")])
+    assert injector.transform("s", b"abc") == b"abc"
+
+
+# ----------------------------------------------------------------------
+# the module-level seams
+# ----------------------------------------------------------------------
+def test_seams_are_noops_without_injector():
+    faults.install(None)
+    fault_point("cache.write")  # must not raise
+    assert fault_transform("cache.write", b"x") == b"x"
+
+
+def test_injected_faults_context_installs_and_restores():
+    faults.install(None)
+    with injected_faults([FaultSpec("s", "error")]) as injector:
+        assert faults.active_injector() is injector
+        with pytest.raises(InjectedFault):
+            fault_point("s")
+    assert faults.active_injector() is None
+    fault_point("s")  # restored: no-op again
+
+
+def test_env_plan_is_parsed_once(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV, "s:error")
+    monkeypatch.setenv(f"{faults.FAULTS_ENV}_SEED", "5")
+    # simulate a fresh process: the env hook has not been consulted yet
+    monkeypatch.setattr(faults, "_ACTIVE", None)
+    monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+    try:
+        injector = faults.active_injector()
+        assert injector is not None
+        assert injector.seed == 5
+        assert [s.site for s in injector.specs] == ["s"]
+    finally:
+        faults.install(None)  # never leak into other tests
