@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-serve bench-features \
-	bench-resilience help
+	bench-resilience bench-explore help
 
 help:
 	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
@@ -12,6 +12,7 @@ help:
 	@echo "make bench-serve    - serving bench, write benchmarks/out/BENCH_serve.json"
 	@echo "make bench-features - feature-extraction bench, write benchmarks/out/BENCH_features.json"
 	@echo "make bench-resilience - resilient-serving load bench (clean vs faulted), write benchmarks/out/BENCH_resilience.json"
+	@echo "make bench-explore  - what-if sweep + autotuner bench, write benchmarks/out/BENCH_explore.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -37,3 +38,6 @@ bench-features:
 
 bench-resilience:
 	$(PYTHON) benchmarks/perf/run_bench.py --resilience
+
+bench-explore:
+	$(PYTHON) benchmarks/perf/run_bench.py --explore

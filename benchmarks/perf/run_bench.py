@@ -241,6 +241,136 @@ def bench_resilience(scale: float, seed: int, effort: str,
     }
 
 
+def bench_explore(scale: float, seed: int, effort: str, model: str,
+                  max_configs: int, budget: int) -> dict:
+    """What-if exploration benchmark: predict-mode sweep throughput vs
+    running the full place-and-route flow per configuration, plus the
+    autotuner on the paper's three combos.
+
+    Three phases on ``face_detection``:
+
+    * ``full_flow`` — fresh build + complete flow (place-and-route) for
+      a few sampled configurations: the cost the paper's approach avoids;
+    * ``predict_sweep_cold`` — stage caches cleared, every unique
+      configuration computes its HLS prefix once;
+    * ``predict_sweep_warm`` — same configurations through a fresh
+      session against the warm stage cache (the interactive steady
+      state).
+
+    The stage-cache accounting of the cold sweep proves the exactly-once
+    property: misses == 2 per unique configuration (hls + graph) plus
+    the baseline's 2.
+    """
+    import shutil
+    import tempfile
+
+    from repro.explore import ExplorationSession, autotune
+    from repro.explore.session import build_design_for
+    from repro.flow import FlowOptions
+    from repro.flow.c_to_fpga import run_flow_on_design
+    from repro.serve import CongestionService, ModelRegistry
+    from repro.util.cache import cached_property_store
+
+    options = FlowOptions(scale=scale, seed=seed, placement_effort=effort)
+    root = tempfile.mkdtemp(prefix="repro-bench-explore-")
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-explore-cache-")
+    saved_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    try:
+        service = CongestionService(
+            model, options=options, registry=ModelRegistry(root)
+        )
+        start = time.perf_counter()
+        source = service.warm()
+        warm_seconds = time.perf_counter() - start
+
+        design = "face_detection"
+        session = ExplorationSession(design, service=service)
+        configs = session.space.sample(max_configs, seed)
+
+        # the avoided cost: full place-and-route per configuration
+        n_full = min(3, len(configs))
+        start = time.perf_counter()
+        for config in configs[:n_full]:
+            key = session.space.apply(
+                config, session.base_directives
+            ).to_key()
+            run_flow_on_design(
+                build_design_for(design, "baseline", scale, key),
+                session.device, options,
+            )
+        full_flow_seconds = time.perf_counter() - start
+        full_per_config = full_flow_seconds / n_full
+
+        # cold: every unique configuration computes hls+graph once
+        cached_property_store("flow_stages").clear()
+        cached_property_store("flow_results").clear()
+        cold = session.sweep(configs=configs, seed=seed)
+
+        # warm: fresh session (no memo), warm stage cache
+        warm_session = ExplorationSession(design, service=service)
+        warm = warm_session.sweep(configs=configs, seed=seed)
+
+        cold_rate = len(configs) / max(cold.seconds, 1e-9)
+        warm_rate = len(configs) / max(warm.seconds, 1e-9)
+        full_rate = 1.0 / max(full_per_config, 1e-9)
+
+        tuner: dict[str, dict] = {}
+        for name in COMBOS:
+            tune_session = ExplorationSession(name, service=service)
+            result = autotune(tune_session, budget=budget, seed=seed)
+            tuner[name] = {
+                "baseline_peak": round(result.baseline.peak, 3),
+                "best_peak": round(result.best.peak, 3),
+                "delta_peak": round(result.best.delta_peak, 3),
+                "improved": result.improved,
+                "evaluated": result.evaluated,
+                "budget": result.budget,
+                "seconds": round(result.seconds, 4),
+                "best_configuration": result.best.label or "(baseline)",
+                "trajectory": [s.to_json() for s in result.trajectory],
+            }
+        service_stats = service.stats()
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_env
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "model": model,
+        "design": design,
+        "n_configs": len(configs),
+        "space_size": session.space.n_configs,
+        "model_warm": {"source": source, "seconds": round(warm_seconds, 6)},
+        "full_flow": {
+            "n_configs": n_full,
+            "seconds": round(full_flow_seconds, 6),
+            "seconds_per_config": round(full_per_config, 6),
+            "configs_per_s": round(full_rate, 3),
+        },
+        "predict_sweep_cold": {
+            "seconds": round(cold.seconds, 6),
+            "configs_per_s": round(cold_rate, 2),
+            "speedup_vs_full_flow": round(cold_rate / full_rate, 2),
+            "telemetry": cold.telemetry,
+        },
+        "predict_sweep_warm": {
+            "seconds": round(warm.seconds, 6),
+            "configs_per_s": round(warm_rate, 2),
+            "speedup_vs_full_flow": round(warm_rate / full_rate, 2),
+            "speedup_vs_cold_sweep": round(
+                cold.seconds / max(warm.seconds, 1e-9), 2
+            ),
+            "telemetry": warm.telemetry,
+        },
+        "tuner": tuner,
+        "service_stats": service_stats,
+    }
+
+
 def bench_features(scale: float, repeat: int) -> dict:
     """Feature-extraction benchmark: the vectorized whole-graph engine
     vs the pinned per-node reference, on the paper combos (HLS prefix
@@ -435,6 +565,14 @@ def main(argv=None) -> int:
                         help="benchmark the fault-tolerant server under "
                              "open-loop load, clean and faulted; writes "
                              "BENCH_resilience.json")
+    parser.add_argument("--explore", action="store_true",
+                        help="benchmark what-if exploration (predict-mode "
+                             "sweep vs full flow, plus the autotuner); "
+                             "writes BENCH_explore.json")
+    parser.add_argument("--max-configs", type=int, default=24,
+                        help="sweep size for --explore")
+    parser.add_argument("--budget", type=int, default=24,
+                        help="tuner evaluation budget for --explore")
     parser.add_argument("--requests", type=int, default=24,
                         help="prediction requests for --serve/--resilience")
     parser.add_argument("--rate", type=float, default=40.0,
@@ -448,18 +586,33 @@ def main(argv=None) -> int:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
-    if sum((args.serve, args.features, args.resilience)) > 1:
-        parser.error("--serve, --features and --resilience are "
-                     "mutually exclusive")
+    if sum((args.serve, args.features, args.resilience,
+            args.explore)) > 1:
+        parser.error("--serve, --features, --resilience and --explore "
+                     "are mutually exclusive")
     if args.out is None:
         name = ("BENCH_serve.json" if args.serve
                 else "BENCH_features.json" if args.features
                 else "BENCH_resilience.json" if args.resilience
+                else "BENCH_explore.json" if args.explore
                 else "BENCH_flow.json")
         args.out = os.path.join(os.path.dirname(__file__), os.pardir,
                                 "out", name)
 
-    if args.resilience:
+    if args.explore:
+        report = {
+            "meta": {
+                "scale": args.scale,
+                "seed": args.seed,
+                "effort": args.effort,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+            **bench_explore(args.scale, args.seed, args.effort,
+                            args.model, args.max_configs, args.budget),
+        }
+    elif args.resilience:
         report = {
             "meta": {
                 "scale": args.scale,
@@ -507,6 +660,24 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"wrote {out}")
+    if args.explore:
+        full = report["full_flow"]
+        cold = report["predict_sweep_cold"]
+        warm = report["predict_sweep_warm"]
+        print(f"full flow: {full['seconds_per_config']:.3f}s/config "
+              f"({full['configs_per_s']:.2f} configs/s)")
+        print(f"predict sweep cold: {cold['configs_per_s']:.1f} configs/s "
+              f"({cold['speedup_vs_full_flow']}x vs full flow)  "
+              f"warm: {warm['configs_per_s']:.1f} configs/s "
+              f"({warm['speedup_vs_full_flow']}x vs full flow)")
+        for name, stats in report["tuner"].items():
+            print(f"tuner {name:18s} baseline={stats['baseline_peak']:.2f}% "
+                  f"best={stats['best_peak']:.2f}% "
+                  f"({stats['delta_peak']:+.2f})  improved="
+                  f"{stats['improved']}  "
+                  f"[{stats['evaluated']}/{stats['budget']} evals, "
+                  f"{stats['seconds']:.2f}s]")
+        return 0
     if args.resilience:
         for phase, stats in report["phases"].items():
             latency = stats["latency_ms"]

@@ -8,6 +8,9 @@ train       run the Table IV evaluation protocol
 predict     train GBRT and print predicted hotspots for a design variant
 serve-demo  train-or-load via the model registry, answer a request
             batch, print latency percentiles and cache statistics
+explore     what-if directive exploration: sweep a directive space
+            (``--mode sweep``) or run the predictor-guided autotuner
+            (``--mode tune``) without ever place-and-routing
 
 All commands accept ``--cache-dir DIR`` (persist flow results, datasets
 and trained models across processes) and ``--jobs N`` (parallel dataset
@@ -17,12 +20,14 @@ builds).  Failures exit non-zero with the error on stderr.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
 from repro.dataset import build_paper_dataset
 from repro.errors import ReproError
+from repro.explore import ExplorationSession, autotune
 from repro.flow import (
     STAGE_ORDER,
     FlowOptions,
@@ -154,6 +159,102 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def _cache_report(service) -> str:
+    """One-line cache telemetry: proves prediction reuse at a glance."""
+    stats = service.stats()
+    stage = stats["stage_cache"]
+    registry = stats.get("registry") or {}
+    return (f"caches: stage {stage['hits']} hit / {stage['misses']} miss"
+            f"  registry {registry.get('hits', 0)} hit / "
+            f"{registry.get('misses', 0)} miss"
+            f"  model from '{stats['model_source']}'")
+
+
+def cmd_explore(args) -> int:
+    service = CongestionService(
+        args.model, options=_options(args), n_jobs=args.jobs
+    )
+    start = time.perf_counter()
+    source = service.warm()
+    if not args.json:
+        print(f"model ready from '{source}' in "
+              f"{time.perf_counter() - start:.2f}s ({args.model})")
+    session = ExplorationSession(
+        args.design, variant=args.variant, service=service,
+        max_knobs=args.max_knobs,
+    )
+
+    if args.mode == "tune":
+        result = autotune(
+            session, budget=args.budget, seed=args.seed,
+            restarts=args.restarts, validate_top_k=args.validate_top_k,
+        )
+        if args.json:
+            print(json.dumps(
+                {**result.to_json(), "stats": session.stats()}, indent=2,
+            ))
+            return 0
+        rows = [[s.step, s.restart, s.action, s.label or "(baseline)",
+                 round(s.peak, 2), round(s.best_peak, 2)]
+                for s in result.trajectory]
+        print(format_table(
+            ["step", "restart", "action", "configuration", "peak",
+             "best"],
+            rows,
+            title=f"tuner trajectory — {args.design} [{args.variant}]",
+        ))
+        best = result.best
+        print(f"\nbaseline peak {result.baseline.peak:.2f}%  ->  best "
+              f"{best.peak:.2f}% ({best.delta_peak:+.2f})  "
+              f"improved={result.improved}")
+        print(f"best configuration: {best.label or '(baseline)'}")
+        print(f"evaluated {result.evaluated}/{result.budget} unique "
+              f"configurations in {result.seconds:.2f}s (seed "
+              f"{result.seed}, {result.restarts} restarts)")
+        for validated in result.validated:
+            measured = validated.measured or {}
+            print(f"  ground truth {validated.label or '(baseline)'}: "
+                  f"peak {measured.get('peak', 0.0):.2f}% "
+                  f"(predicted {validated.peak:.2f}%)")
+        print(_cache_report(service))
+        return 0
+
+    result = session.sweep(max_configs=args.max_configs, seed=args.seed)
+    if args.json:
+        print(json.dumps(
+            {**result.to_json(), "stats": session.stats()}, indent=2,
+        ))
+        return 0
+    pareto = {id(result.evaluations[i]) for i in result.pareto}
+    rows = [
+        [e.label or "(baseline)", round(e.peak, 2),
+         f"{e.delta_peak:+.2f}", e.hot_regions,
+         f"{e.delta_latency:+d}", f"{e.delta_lut:+d}",
+         "*" if id(e) in pareto else ""]
+        for e in result.best(args.top)
+    ]
+    print(format_table(
+        ["configuration", "peak(%)", "dpeak", "hot", "dlat", "dLUT",
+         "pareto"],
+        rows,
+        title=(f"what-if sweep — {args.design} [{args.variant}] "
+               f"(baseline peak {result.baseline.peak:.2f}%)"),
+    ))
+    telemetry = result.telemetry
+    print(f"\n{telemetry['n_unique']} unique configurations "
+          f"({telemetry['n_configs']} requested) in "
+          f"{result.seconds:.2f}s; {len(result.pareto)} on the "
+          f"pareto front")
+    print(f"sweep telemetry: {telemetry['predictions_issued']} "
+          f"predictions, {telemetry['memo_hits']} memo hits, stage "
+          f"cache +{telemetry['stage_cache_hits']} hit / "
+          f"+{telemetry['stage_cache_misses']} miss, prediction "
+          f"cache +{telemetry['prediction_cache_hits']} hit / "
+          f"+{telemetry['prediction_cache_misses']} miss")
+    print(_cache_report(service))
+    return 0
+
+
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile (no numpy needed for a demo printout)."""
     if not sorted_values:
@@ -207,7 +308,8 @@ def _cmd_serve_resilient(args, service) -> int:
             print(f"  batches {stats['batches']}  worker restarts "
                   f"{stats['worker_restarts']}  queue depth "
                   f"{stats['queue_depth']}")
-            print(f"\nstats: {stats}")
+            print(f"\n{_cache_report(service)}")
+            print(f"stats: {stats}")
     finally:
         if args.faults:
             faults.install(None)
@@ -258,7 +360,8 @@ def cmd_serve_demo(args) -> int:
         print(f"  {region.source_file}:{region.source_line}  "
               f"V {region.vertical:.1f}%  H {region.horizontal:.1f}%")
 
-    print(f"\nstats: {service.stats()}")
+    print(f"\n{_cache_report(service)}")
+    print(f"stats: {service.stats()}")
     return 0
 
 
@@ -332,6 +435,38 @@ def main(argv=None) -> int:
                               f"(also via ${faults.FAULTS_ENV})")
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve_demo)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="what-if directive exploration / predictor-guided tuning",
+    )
+    p_explore.add_argument("design",
+                           choices=sorted({*PAPER_COMBINATIONS,
+                                           *KERNEL_BUILDERS}))
+    p_explore.add_argument("--variant", default="baseline")
+    p_explore.add_argument("--model", default="gbrt",
+                           choices=("linear", "ann", "gbrt"))
+    p_explore.add_argument("--mode", default="sweep",
+                           choices=("sweep", "tune"))
+    p_explore.add_argument("--max-configs", type=int, default=24,
+                           help="configurations per sweep (sampled "
+                                "seed-deterministically when the space "
+                                "is larger)")
+    p_explore.add_argument("--max-knobs", type=int, default=None,
+                           help="cap the derived directive space")
+    p_explore.add_argument("--top", type=int, default=5,
+                           help="rows to print in sweep mode")
+    p_explore.add_argument("--budget", type=int, default=48,
+                           help="unique evaluations for --mode tune")
+    p_explore.add_argument("--restarts", type=int, default=3,
+                           help="search starts for --mode tune")
+    p_explore.add_argument("--validate-top-k", type=int, default=0,
+                           help="place-and-route the top-k tuned "
+                                "configurations for ground truth")
+    p_explore.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _add_common(p_explore)
+    p_explore.set_defaults(func=cmd_explore)
 
     args = parser.parse_args(argv)
     previous_cache_dir = os.environ.get(CACHE_DIR_ENV)

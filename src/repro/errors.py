@@ -121,3 +121,7 @@ class CircuitOpenError(ServeError):
 class ServerClosedError(ServeError):
     """The serving front-end has been shut down; no new requests are
     accepted and in-queue requests are failed with this error."""
+
+
+class ExploreError(ReproError):
+    """Invalid directive-space declaration or exploration request."""

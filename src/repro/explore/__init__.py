@@ -1,0 +1,47 @@
+"""What-if directive exploration and predictor-guided autotuning.
+
+The paper's stated purpose for congestion prediction is to *guide
+directive optimization*: tell the designer which pragma combination to
+try next without paying for place-and-route each time.  This subsystem
+closes that loop on top of the serving tier:
+
+* :class:`DirectiveSpace` declares parameterized knobs (unroll factors,
+  pipeline II, array-partition factors, inline on/off) over a design and
+  enumerates/samples concrete :class:`~repro.hls.directives.DirectiveSet`
+  configurations with canonical, hashable keys;
+* :class:`ExplorationSession` sweeps configurations through the
+  HLS-prefix pipeline and fans the correlated predictions through
+  :meth:`CongestionService.predict_batch` (optionally via a
+  :class:`~repro.serve.server.ResilientCongestionServer`), returning
+  predicted congestion deltas vs a baseline plus a Pareto view over
+  congestion / resources / latency — **never** running place-and-route
+  in predict mode;
+* :func:`autotune` is a budgeted, seed-deterministic greedy search with
+  random restarts over the space, guided purely by the predictor, with
+  an optional ground-truth mode that place-and-routes only the top-k
+  recommendations.
+"""
+
+from repro.explore.space import (
+    DirectiveConfig,
+    DirectiveSpace,
+    Knob,
+)
+from repro.explore.session import (
+    ConfigEvaluation,
+    ExplorationSession,
+    SweepResult,
+)
+from repro.explore.tune import TuneResult, TuneStep, autotune
+
+__all__ = [
+    "ConfigEvaluation",
+    "DirectiveConfig",
+    "DirectiveSpace",
+    "ExplorationSession",
+    "Knob",
+    "SweepResult",
+    "TuneResult",
+    "TuneStep",
+    "autotune",
+]

@@ -1,0 +1,225 @@
+"""Budgeted predictor-guided autotuning over a directive space.
+
+:func:`autotune` is a deliberately simple search — steepest-descent
+greedy neighborhood walk with random restarts — because the point is
+not the search algorithm but the *cost model*: every candidate is
+scored by the congestion predictor through the HLS-prefix pipeline,
+so the tuner can afford hundreds of evaluations where a
+place-and-route-in-the-loop tuner could afford a handful.
+
+Determinism: given the same session state, ``budget``, ``seed`` and
+``restarts``, the tuner visits the same configurations in the same
+order.  The first start is always the **identity** configuration (the
+knob values that reproduce the design's own directive set), so the
+best found configuration can never predict worse than the baseline.
+Random restarts come from a private ``random.Random(seed)``.
+
+Ground truth is an explicit opt-in: ``validate_top_k > 0`` runs the
+real place-and-route flow on the top-k recommendations (and on the
+baseline, for reference) *after* the search — never inside it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.explore.session import ConfigEvaluation, ExplorationSession
+from repro.explore.space import DirectiveConfig
+
+
+def default_objective(evaluation: ConfigEvaluation) -> tuple:
+    """Lexicographic: predicted peak, then hot-area, latency, LUTs."""
+    return (
+        round(evaluation.peak, 6),
+        evaluation.hot_regions,
+        evaluation.latency_cycles,
+        evaluation.lut,
+    )
+
+
+@dataclass
+class TuneStep:
+    """One evaluated configuration in the tuner trajectory."""
+
+    step: int
+    restart: int
+    action: str  # "identity" | "restart" | "neighbor"
+    label: str
+    peak: float
+    best_peak: float  # running best after this step
+
+    def to_json(self) -> dict:
+        return {
+            "step": self.step,
+            "restart": self.restart,
+            "action": self.action,
+            "label": self.label,
+            "peak": round(self.peak, 3),
+            "best_peak": round(self.best_peak, 3),
+        }
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one :func:`autotune` run."""
+
+    design: str
+    variant: str
+    baseline: ConfigEvaluation
+    best: ConfigEvaluation
+    trajectory: list[TuneStep]
+    evaluated: int
+    budget: int
+    seed: int
+    restarts: int
+    validated: list[ConfigEvaluation] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def improved(self) -> bool:
+        """Best predicted peak strictly below the baseline's."""
+        return self.best.peak < self.baseline.peak
+
+    def to_json(self) -> dict:
+        return {
+            "design": self.design,
+            "variant": self.variant,
+            "baseline_peak": round(self.baseline.peak, 3),
+            "best": self.best.to_json(),
+            "improved": self.improved,
+            "evaluated": self.evaluated,
+            "budget": self.budget,
+            "seed": self.seed,
+            "restarts": self.restarts,
+            "trajectory": [s.to_json() for s in self.trajectory],
+            "validated": [e.to_json() for e in self.validated],
+            "seconds": round(self.seconds, 4),
+        }
+
+
+def autotune(
+    session: ExplorationSession,
+    *,
+    budget: int = 48,
+    seed: int = 0,
+    restarts: int = 3,
+    objective=None,
+    validate_top_k: int = 0,
+) -> TuneResult:
+    """Search ``session.space`` for the configuration minimizing
+    ``objective`` (default: predicted peak congestion) under a budget
+    of at most ``budget`` **unique** predictor evaluations.
+
+    ``restarts`` is the number of search starts: the first is the
+    identity configuration, the rest are uniform-random draws.  Each
+    start runs steepest-descent over one-knob neighborhoods until no
+    neighbor improves, evaluating each neighborhood as one prediction
+    batch.  Revisited configurations are free (session memo) and do
+    not consume budget.
+    """
+    objective = objective or default_objective
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    start_time = time.perf_counter()
+    space = session.space
+    rng = random.Random(seed)
+    baseline = session.baseline()
+
+    applied_keys: dict[tuple, tuple] = {}
+
+    def akey(config: DirectiveConfig) -> tuple:
+        k = config.key()
+        if k not in applied_keys:
+            applied_keys[k] = space.apply(
+                config, session.base_directives
+            ).to_key()
+        return applied_keys[k]
+
+    evaluated: dict[tuple, ConfigEvaluation] = {}
+    trajectory: list[TuneStep] = []
+
+    def running_best() -> ConfigEvaluation:
+        return min(evaluated.values(), key=objective)
+
+    def evaluate(configs, restart: int, action: str):
+        """Evaluate fresh configs (budget-truncated) in one batch and
+        return evaluations for every requested config already known."""
+        fresh, keys = [], []
+        for config in configs:
+            key = akey(config)
+            if key in evaluated or key in keys:
+                continue
+            if len(evaluated) + len(fresh) >= budget:
+                break
+            fresh.append(config)
+            keys.append(key)
+        if fresh:
+            for key, evaluation in zip(keys, session.evaluate(fresh)):
+                evaluated[key] = evaluation
+                trajectory.append(TuneStep(
+                    step=len(trajectory) + 1,
+                    restart=restart,
+                    action=action,
+                    label=evaluation.label,
+                    peak=evaluation.peak,
+                    best_peak=running_best().peak,
+                ))
+        return [evaluated[akey(c)] for c in configs
+                if akey(c) in evaluated]
+
+    for restart in range(max(1, restarts)):
+        if len(evaluated) >= budget:
+            break
+        if restart == 0:
+            start = space.config(
+                space.identity_values(session.base_directives)
+            )
+            action = "identity"
+        else:
+            start = space.config(tuple(
+                rng.choice(knob.choices) for knob in space.knobs
+            ))
+            action = "restart"
+        found = evaluate([start], restart, action)
+        if not found:
+            break
+        current = found[0]
+        # steepest descent over one-knob neighborhoods
+        while len(evaluated) < budget and current.config is not None:
+            neighborhood = [
+                n for n in space.neighbors(current.config)
+                if akey(n) not in evaluated
+            ]
+            if not neighborhood:
+                break
+            candidates = evaluate(neighborhood, restart, "neighbor")
+            if not candidates:
+                break
+            leader = min(candidates, key=objective)
+            if objective(leader) < objective(current):
+                current = leader
+            else:
+                break
+
+    best = running_best()
+    result = TuneResult(
+        design=session.design,
+        variant=session.variant,
+        baseline=baseline,
+        best=best,
+        trajectory=trajectory,
+        evaluated=len(evaluated),
+        budget=budget,
+        seed=seed,
+        restarts=restarts,
+    )
+    if validate_top_k > 0:
+        session.measure_ground_truth(baseline)
+        top = sorted(evaluated.values(), key=objective)[:validate_top_k]
+        for evaluation in top:
+            session.measure_ground_truth(evaluation)
+        result.validated = top
+    result.seconds = time.perf_counter() - start_time
+    return result

@@ -117,7 +117,8 @@ class FlowResult:
 
 
 def design_cache_token(name: str, variant: str, scale: float,
-                       combined: bool) -> tuple:
+                       combined: bool,
+                       directives: tuple | None = None) -> tuple:
     """Stage-cache identity of a by-name design build.
 
     Builds are deterministic in (kind, name, variant, scale), so two
@@ -126,14 +127,25 @@ def design_cache_token(name: str, variant: str, scale: float,
     exact kernel design, so it canonicalizes to the kernel token —
     a serving request for "face_detection" reuses the artifacts the
     dataset build produced for the same-named combo.
+
+    ``directives`` is a canonical :meth:`DirectiveSet.to_key` tuple for
+    what-if exploration: a design whose directive set was *overridden*
+    after the build must never share stage artifacts with the variant's
+    stock directives (or with a different override).  ``None`` — the
+    stock directives implied by (name, variant) — keeps the historic
+    token shape, so existing on-disk caches stay valid.
     """
     from repro.kernels.combos import PAPER_COMBINATIONS
 
     if combined:
         members = PAPER_COMBINATIONS.get(name)
         if members is not None and len(members) == 1:
-            return ("kernel", members[0], variant, scale)
-    return ("combined" if combined else "kernel", name, variant, scale)
+            return design_cache_token(members[0], variant, scale, False,
+                                      directives)
+    base = ("combined" if combined else "kernel", name, variant, scale)
+    if directives is None:
+        return base
+    return (*base, directives)
 
 
 def run_flow_on_design(

@@ -115,6 +115,71 @@ class DirectiveSet:
             partitions=list(self.partitions),
         )
 
+    # ------------------------------------------------------------------
+    # canonical serialized form
+    # ------------------------------------------------------------------
+    def to_key(self) -> tuple:
+        """Canonical, hashable identity of the directive *content*.
+
+        Directives are sorted per kind (the synthesizer applies each
+        kind as a phase, so list order within a kind carries no
+        meaning), and the set's display ``name`` is excluded — two sets
+        describing the same configuration share one key no matter how
+        they were assembled.  This single representation is what
+        explore configs, flow stage-cache tokens and serving requests
+        key on, so a what-if sweep can never alias two different
+        configurations (or split one configuration into two cache
+        slots).
+        """
+        return (
+            "directives",
+            tuple(sorted((d.function,) for d in self.inlines)),
+            tuple(sorted((d.function, d.loop, d.factor)
+                         for d in self.unrolls)),
+            tuple(sorted((d.function, d.loop, d.ii)
+                         for d in self.pipelines)),
+            tuple(sorted((d.function, d.array, d.factor)
+                         for d in self.partitions)),
+        )
+
+    @classmethod
+    def from_key(cls, key: tuple, name: str = "from-key") -> "DirectiveSet":
+        """Rebuild a :class:`DirectiveSet` from :meth:`to_key` output.
+
+        Raises :class:`~repro.errors.DirectiveError` on malformed keys
+        (a foreign tuple must fail loudly, never half-parse).
+        """
+        try:
+            tag, inlines, unrolls, pipelines, partitions = key
+            if tag != "directives":
+                raise ValueError(f"bad tag {tag!r}")
+            return cls(
+                name=name,
+                inlines=[InlineDirective(f) for (f,) in inlines],
+                unrolls=[UnrollDirective(f, loop, factor)
+                         for f, loop, factor in unrolls],
+                pipelines=[PipelineDirective(f, loop, ii)
+                           for f, loop, ii in pipelines],
+                partitions=[ArrayPartitionDirective(f, array, factor)
+                            for f, array, factor in partitions],
+            )
+        except DirectiveError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise DirectiveError(
+                f"malformed directive key {key!r}: {exc}"
+            ) from exc
+
+    def copy(self, name: str | None = None) -> "DirectiveSet":
+        """Independent copy (the per-kind lists are not shared)."""
+        return DirectiveSet(
+            name=name or self.name,
+            inlines=list(self.inlines),
+            unrolls=list(self.unrolls),
+            pipelines=list(self.pipelines),
+            partitions=list(self.partitions),
+        )
+
     def validate(self, module: Module) -> None:
         """Check every directive references an existing entity."""
         for d in self.inlines:

@@ -44,6 +44,7 @@ from repro.errors import (
 )
 from repro.features.extract import FeatureExtractor
 from repro.flow.c_to_fpga import design_cache_token
+from repro.hls.directives import DirectiveSet
 from repro.flow.pipeline import FlowOptions, FlowPipeline
 from repro.fpga.device import Device, xc7z020
 from repro.kernels.combos import (
@@ -64,12 +65,29 @@ from repro.util.cache import cached_property_store
 
 @dataclass(frozen=True)
 class PredictRequest:
-    """One prediction request, addressable by design name."""
+    """One prediction request, addressable by design name.
+
+    ``directives`` optionally *overrides* the design's directive set
+    with a canonical :meth:`~repro.hls.directives.DirectiveSet.to_key`
+    tuple — the what-if exploration workload: same source, different
+    pragma configuration, answered without any place-and-route.  Each
+    distinct override gets its own stage-cache identity, so two
+    configurations never alias and a repeated configuration is a cache
+    hit.
+    """
 
     design: str
     variant: str = "baseline"
     #: how many hottest source regions to return
     top: int = 5
+    #: canonical DirectiveSet.to_key() override, or None for the stock
+    #: directives of (design, variant)
+    directives: tuple | None = None
+
+    @property
+    def group_key(self) -> tuple:
+        """Identity of the feature-extraction group this request joins."""
+        return (self.design, self.variant, self.directives)
 
 
 @dataclass
@@ -94,6 +112,10 @@ class PredictResponse:
     #: from a fully fitted model, but operators should know
     degraded: bool = False
     degraded_reason: str = ""
+    #: HLS-report summary of the (possibly directive-overridden) design —
+    #: what-if exploration trades these against predicted congestion
+    latency_cycles: int = 0
+    resources: dict[str, int] = field(default_factory=dict)
 
 
 class CongestionService:
@@ -137,6 +159,13 @@ class CongestionService:
         self._predictor: CongestionPredictor | None = None
         self._model_source = ""
         self._degraded_reason = ""
+        #: finished group results (regions, peaks, HLS summary) per
+        #: (design, variant, directives) — predictions over a fixed
+        #: model are deterministic, so a repeated what-if configuration
+        #: skips extraction AND the model invocation entirely.  Keyed to
+        #: the predictor instance: a retrain/reload invalidates it.
+        self._prediction_cache: dict[tuple, tuple] = {}
+        self._prediction_cache_for: object | None = None
         #: concurrent workers may warm/build through one service; these
         #: keep "train exactly once" and the design memo race-free
         self._warm_lock = threading.Lock()
@@ -146,6 +175,7 @@ class CongestionService:
             "registry_loads": 0, "stale_rejections": 0,
             "quarantined_loads": 0, "registry_unavailable": 0,
             "save_failures": 0,
+            "prediction_hits": 0, "prediction_misses": 0,
         }
 
     # ------------------------------------------------------------------
@@ -267,19 +297,29 @@ class CongestionService:
                 f"unknown design {request.design!r}; known: {known}"
             )
         token = design_cache_token(
-            request.design, request.variant, self.options.scale, combined
+            request.design, request.variant, self.options.scale, combined,
+            request.directives,
         )
         with self._design_lock:
             if token not in self._designs:
-                self._designs[token] = build(
+                design = build(
                     request.design, scale=self.options.scale,
                     variant=request.variant,
                 )
+                if request.directives is not None:
+                    directives = DirectiveSet.from_key(
+                        request.directives,
+                        name=f"{request.design}:{request.variant}:whatif",
+                    )
+                    directives.validate(design.module)
+                    design.directives = directives
+                self._designs[token] = design
             return self._designs[token], token
 
     def _extract_features(self, request: PredictRequest,
                           deadline: float | None = None):
-        """(design, graph, nodes, X) for one unique (design, variant).
+        """(design, hls, graph, nodes, X) for one unique group
+        (design, variant, directives override).
 
         Runs only the HLS-prefix pipeline; stage artifacts are memoized
         under the design token so repeated requests skip synthesis.
@@ -293,7 +333,7 @@ class CongestionService:
         nodes, X = extractor.extract_all()
         # ctx.design, not the local build: on stage-cache hits the
         # pipeline adopts the design the cached artifacts belong to.
-        return ctx.design, ctx.graph, nodes, X
+        return ctx.design, ctx.hls, ctx.graph, nodes, X
 
     def predict(self, request: PredictRequest, *,
                 deadline=None) -> PredictResponse:
@@ -319,44 +359,63 @@ class CongestionService:
         start = time.perf_counter()
         predictor = self.predictor
         source = self._model_source
+        if self._prediction_cache_for is not predictor:
+            # model retrained/reloaded since the cache was filled
+            self._prediction_cache = {}
+            self._prediction_cache_for = predictor
 
-        # one feature extraction per unique (design, variant)
-        groups: dict[tuple[str, str], list[int]] = {}
+        # one feature extraction per unique (design, variant, directives)
+        # — and none at all for groups the prediction cache already holds
+        groups: dict[tuple, list[int]] = {}
         for i, request in enumerate(requests):
-            groups.setdefault((request.design, request.variant), []).append(i)
+            groups.setdefault(request.group_key, []).append(i)
+        per_group: dict[tuple, tuple] = {}
+        to_compute: dict[tuple, int] = {}
+        for key, idx in groups.items():
+            cached = self._prediction_cache.get(key)
+            if cached is not None:
+                per_group[key] = cached
+                self._counters["prediction_hits"] += 1
+            else:
+                to_compute[key] = idx[0]
+                self._counters["prediction_misses"] += 1
         extracted = {
-            key: self._extract_features(requests[idx[0]], deadline)
-            for key, idx in groups.items()
+            key: self._extract_features(requests[i], deadline)
+            for key, i in to_compute.items()
         }
 
-        # one model invocation over the stacked feature matrix
-        if deadline is not None and time.monotonic() >= deadline:
-            raise DeadlineExceededError(
-                "deadline exceeded after feature extraction, before the "
-                "model invocation"
-            )
-        order = list(extracted)
-        X_all = np.vstack([extracted[key][3] for key in order])
-        v_all, h_all = predictor.predict_matrix(X_all)
+        if extracted:
+            # one model invocation over the stacked feature matrix
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError(
+                    "deadline exceeded after feature extraction, before "
+                    "the model invocation"
+                )
+            order = list(extracted)
+            X_all = np.vstack([extracted[key][4] for key in order])
+            v_all, h_all = predictor.predict_matrix(X_all)
 
-        per_group: dict[tuple[str, str], tuple] = {}
-        offset = 0
-        for key in order:
-            design, graph, nodes, X = extracted[key]
-            v = v_all[offset:offset + len(nodes)]
-            h = h_all[offset:offset + len(nodes)]
-            offset += len(nodes)
-            regions = regions_from_predictions(design, graph, nodes, v, h)
-            regions.sort(key=lambda r: -r.average)
-            per_group[key] = (regions, len(nodes), float(v.max()),
-                              float(h.max()))
+            offset = 0
+            for key in order:
+                design, hls, graph, nodes, X = extracted[key]
+                v = v_all[offset:offset + len(nodes)]
+                h = h_all[offset:offset + len(nodes)]
+                offset += len(nodes)
+                regions = regions_from_predictions(
+                    design, graph, nodes, v, h
+                )
+                regions.sort(key=lambda r: -r.average)
+                per_group[key] = (regions, len(nodes), float(v.max()),
+                                  float(h.max()), hls.latency_cycles,
+                                  dict(hls.top_report.hierarchical_resources))
+                self._prediction_cache[key] = per_group[key]
 
         elapsed = time.perf_counter() - start
         degraded_reason = self._degraded_reason
         responses = []
         for request in requests:
-            regions, n_ops, v_max, h_max = per_group[
-                (request.design, request.variant)
+            regions, n_ops, v_max, h_max, latency, resources = per_group[
+                request.group_key
             ]
             responses.append(PredictResponse(
                 request=request,
@@ -369,6 +428,8 @@ class CongestionService:
                 batch_size=len(requests),
                 degraded=bool(degraded_reason),
                 degraded_reason=degraded_reason,
+                latency_cycles=latency,
+                resources=resources,
             ))
         self._counters["predictions"] += len(requests)
         if len(requests) > 1:

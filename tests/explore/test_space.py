@@ -1,0 +1,142 @@
+"""DirectiveSpace / Knob / DirectiveConfig unit tests (no flows)."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import DirectiveSpace, Knob
+from repro.kernels import build_kernel
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_kernel("face_detection", scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def space(design):
+    return DirectiveSpace.around(design)
+
+
+def test_knob_validation_rejects_nonsense():
+    with pytest.raises(ExploreError):
+        Knob("replicate", "f", "L", (1, 2))  # unknown kind
+    with pytest.raises(ExploreError):
+        Knob.unroll("f", "L", ())  # no choices
+    with pytest.raises(ExploreError):
+        Knob.unroll("f", "L", (1, 2, 2))  # duplicate choice
+    with pytest.raises(ExploreError):
+        Knob.unroll("f", "L", (1, -2))  # negative factor
+    with pytest.raises(ExploreError):
+        Knob.unroll("f", "L", (1, True))  # bool is not a factor
+    with pytest.raises(ExploreError):
+        Knob("inline", "f", "L", (False, True))  # inline takes no target
+
+
+def test_space_rejects_duplicate_knobs():
+    knob = Knob.unroll("f", "L", (1, 2))
+    with pytest.raises(ExploreError):
+        DirectiveSpace("dup", [knob, Knob.unroll("f", "L", (1, 4))])
+    with pytest.raises(ExploreError):
+        DirectiveSpace("empty", [])
+
+
+def test_around_derives_one_knob_per_base_directive(design, space):
+    base = design.directives
+    n_base = (len(base.unrolls) + len(base.pipelines)
+              + len(base.partitions) + len(base.inlines))
+    assert len(space) == n_base
+    # every knob offers its "off" value and the baseline value
+    identity = space.identity_values(base)
+    for knob, value in zip(space.knobs, identity):
+        assert value in knob.choices
+        off = {"unroll": 1, "pipeline": 0, "partition": 1,
+               "inline": False}[knob.kind]
+        assert off in knob.choices
+
+
+def test_identity_config_reproduces_baseline_key(design, space):
+    base = design.directives
+    config = space.config(space.identity_values(base))
+    assert space.apply(config, base).to_key() == base.to_key()
+
+
+def test_apply_off_values_removes_directives(design, space):
+    base = design.directives
+    all_off = space.config(tuple(
+        {"unroll": 1, "pipeline": 0, "partition": 1,
+         "inline": False}[k.kind]
+        for k in space.knobs
+    ))
+    applied = space.apply(all_off, base)
+    # every base directive is covered by a knob, so "all off" strips
+    # the directive set bare
+    assert applied.to_key() == ("directives", (), (), (), ())
+    assert all_off.label() == "(all off)"
+    # the base set itself is untouched (apply copies)
+    assert base.to_key() != applied.to_key()
+
+
+def test_enumerate_and_sample_are_deterministic(space):
+    expected = 1
+    for knob in space.knobs:
+        expected *= len(knob.choices)
+    assert space.n_configs == expected
+
+    a = space.sample(6, seed=11)
+    b = space.sample(6, seed=11)
+    assert [c.values for c in a] == [c.values for c in b]
+    assert len({c.key() for c in a}) == 6  # distinct
+
+    # n >= space size falls back to full enumeration
+    everything = space.sample(space.n_configs + 5, seed=0)
+    assert len(everything) == space.n_configs
+    assert ([c.values for c in everything]
+            == [c.values for c in space.enumerate_configs()])
+
+
+def test_neighbors_vary_exactly_one_knob(space):
+    config = next(space.enumerate_configs())
+    neighborhood = space.neighbors(config)
+    assert len(neighborhood) == sum(
+        len(k.choices) - 1 for k in space.knobs
+    )
+    for neighbor in neighborhood:
+        diffs = sum(1 for a, b in zip(neighbor.values, config.values)
+                    if a != b)
+        assert diffs == 1
+
+
+def test_configs_interchange_between_equal_spaces(design, space):
+    other = DirectiveSpace.around(design)
+    config = next(space.enumerate_configs())
+    assert (other.apply(config, design.directives).to_key()
+            == space.apply(config, design.directives).to_key())
+    disjoint = DirectiveSpace("x", [Knob.unroll("f", "L", (1, 2))])
+    with pytest.raises(ExploreError):
+        disjoint.apply(config)
+
+
+def test_config_arity_and_choice_checks(space):
+    with pytest.raises(ExploreError):
+        space.config((1,))  # wrong arity
+    bad_values = [k.choices[0] for k in space.knobs]
+    bad_values[0] = 99999  # not a declared choice
+    config = space.config(tuple(bad_values))
+    with pytest.raises(ExploreError):
+        space.apply(config)
+
+
+def test_max_knobs_truncates_in_priority_order(design):
+    full = DirectiveSpace.around(design)
+    small = DirectiveSpace.around(design, max_knobs=3)
+    assert small.knobs == full.knobs[:3]
+    with pytest.raises(ExploreError):
+        DirectiveSpace.around(design, max_knobs=0)
+
+
+def test_describe_is_json_friendly(space):
+    import json
+
+    payload = space.describe()
+    assert payload["n_knobs"] == len(space)
+    json.dumps(payload)  # must not raise

@@ -61,6 +61,55 @@ def test_directive_set_builders_and_without_inlines():
     assert not DirectiveSet().is_empty() is False or DirectiveSet().is_empty()
 
 
+def test_directive_key_round_trip():
+    d = DirectiveSet("x").inline("f").unroll("f", "l", 4).pipeline("f", "l", 2)
+    d.partition("f", "a", 2).partition("f", "b", 0)
+    key = d.to_key()
+    rebuilt = DirectiveSet.from_key(key, name="rebuilt")
+    assert rebuilt.to_key() == key
+    assert rebuilt.n_directives() == d.n_directives()
+    assert {u.loop for u in rebuilt.unrolls} == {"l"}
+    # the display name is not part of the identity
+    assert DirectiveSet("other").unroll("f", "l", 4).to_key() == \
+        DirectiveSet("x").unroll("f", "l", 4).to_key()
+
+
+def test_directive_key_is_order_canonical():
+    a = (DirectiveSet("a").unroll("f", "l1", 2).unroll("f", "l0", 4)
+         .inline("g").inline("f").partition("f", "z", 2)
+         .partition("f", "a", 0))
+    b = (DirectiveSet("b").partition("f", "a", 0).partition("f", "z", 2)
+         .inline("f").inline("g").unroll("f", "l0", 4).unroll("f", "l1", 2))
+    assert a.to_key() == b.to_key()
+    # different factor => different key
+    c = DirectiveSet("c").unroll("f", "l0", 8).unroll("f", "l1", 2)
+    c.inline("g").inline("f").partition("f", "z", 2).partition("f", "a", 0)
+    assert c.to_key() != a.to_key()
+
+
+def test_directive_key_rejects_malformed():
+    with pytest.raises(DirectiveError):
+        DirectiveSet.from_key(("not-directives", (), (), (), ()))
+    with pytest.raises(DirectiveError):
+        DirectiveSet.from_key(("directives", (), ()))
+    with pytest.raises(DirectiveError):
+        DirectiveSet.from_key(("directives", (), ((("f",),),), (), ()))
+    # validity constraints still apply through from_key
+    with pytest.raises(DirectiveError):
+        DirectiveSet.from_key(
+            ("directives", (), (("f", "l", -1),), (), ())
+        )
+
+
+def test_directive_copy_is_independent():
+    d = DirectiveSet("x").unroll("f", "l", 4)
+    c = d.copy("y")
+    c.unroll("f", "l2", 2)
+    assert d.n_directives() == 1
+    assert c.n_directives() == 2
+    assert c.name == "y"
+
+
 def test_inline_splices_body_and_removes_call():
     m, f, g = module_with_callee()
     added = inline_functions(m, {"leaf"})

@@ -57,6 +57,31 @@ def test_cli_error_exits_nonzero(capsys):
     assert "unknown variant" in err
 
 
+def test_cli_explore_sweep(capsys):
+    code = main(["explore", "face_detection", "--scale", "0.18",
+                 "--model", "linear", "--max-configs", "6",
+                 "--max-knobs", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "what-if sweep — face_detection [baseline]" in out
+    assert "sweep telemetry:" in out
+    assert "caches: stage" in out and "prediction cache" in out
+
+
+def test_cli_explore_tune_json(capsys):
+    import json
+
+    code = main(["explore", "face_detection", "--scale", "0.18",
+                 "--model", "linear", "--mode", "tune",
+                 "--budget", "6", "--restarts", "1", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    assert payload["trajectory"][0]["action"] == "identity"
+    assert payload["best"]["peak"] <= payload["baseline_peak"] + 1e-9
+    assert payload["evaluated"] <= 6
+
+
 def test_cli_serve_demo_with_registry(tmp_path, monkeypatch, capsys):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     args = ["serve-demo", "--scale", "0.18", "--requests", "3",
