@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-serve bench-features \
-	bench-resilience bench-explore help
+	bench-resilience bench-explore bench-place help
 
 help:
 	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
@@ -13,6 +13,7 @@ help:
 	@echo "make bench-features - feature-extraction bench, write benchmarks/out/BENCH_features.json"
 	@echo "make bench-resilience - resilient-serving load bench (clean vs faulted), write benchmarks/out/BENCH_resilience.json"
 	@echo "make bench-explore  - what-if sweep + autotuner bench, write benchmarks/out/BENCH_explore.json"
+	@echo "make bench-place    - placer bench (center vs analytic vs loop reference), write benchmarks/out/BENCH_place.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -41,3 +42,6 @@ bench-resilience:
 
 bench-explore:
 	$(PYTHON) benchmarks/perf/run_bench.py --explore
+
+bench-place:
+	$(PYTHON) benchmarks/perf/run_bench.py --place --repeat 3

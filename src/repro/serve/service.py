@@ -26,6 +26,7 @@
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -151,11 +152,13 @@ class CongestionService:
             self.registry = registry
         #: the HLS prefix — hls + dependency graph, nothing physical
         self.pipeline = FlowPipeline.default().subset(["graph"])
-        #: built designs per token — rebuilt IR would be discarded on
-        #: every warm stage-cache hit anyway.  Per-service (not global):
-        #: this service's fixed options mean each design is synthesized
-        #: (= module-mutated) at most once.
-        self._designs: dict[tuple, object] = {}
+        #: *pristine* built designs per token, stored as pickled bytes.
+        #: The pipeline's HLS stage mutates the design module in place,
+        #: so memoizing the object itself would hand later callers a
+        #: half-transformed module (directive transforms double-applied
+        #: on re-synthesis); every use deserializes a fresh copy and
+        #: the memo only saves the deterministic-but-slow IR rebuild.
+        self._designs: dict[tuple, bytes] = {}
         self._predictor: CongestionPredictor | None = None
         self._model_source = ""
         self._degraded_reason = ""
@@ -313,8 +316,12 @@ class CongestionService:
                     )
                     directives.validate(design.module)
                     design.directives = directives
-                self._designs[token] = design
-            return self._designs[token], token
+                self._designs[token] = pickle.dumps(
+                    design, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            # fresh copy per use: the caller's pipeline run will mutate
+            # it, and the memoized pristine bytes must stay pristine
+            return pickle.loads(self._designs[token]), token
 
     def _extract_features(self, request: PredictRequest,
                           deadline: float | None = None):

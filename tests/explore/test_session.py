@@ -49,13 +49,11 @@ def test_sweep_never_places_or_routes(service, monkeypatch):
 
     for stage_fn in IMPLEMENTATION_STAGE_FNS:
         monkeypatch.setattr(pipeline_mod, stage_fn, boom)
-    # fresh-process simulation: empty stage store + empty service memos
-    # (a design in the memo is already synthesized; with its stage
-    # artifacts gone it must be rebuilt, not re-synthesized)
+    # fresh-process simulation: empty stage store + cold predictions
+    # (the design memo stores pristine designs, so it may survive)
     monkeypatch.setitem(
         cache_mod._GLOBAL_STORES, "flow_stages", KeyedCache()
     )
-    monkeypatch.setattr(service, "_designs", {})
     monkeypatch.setattr(service, "_prediction_cache", {})
     session = _session(service)
     result = session.sweep(max_configs=6, seed=1)
@@ -68,8 +66,9 @@ def test_each_unique_signature_computed_exactly_once(service, monkeypatch):
     monkeypatch.setitem(
         cache_mod._GLOBAL_STORES, "flow_stages", KeyedCache()
     )
-    # start prediction-cold too (earlier tests share the service)
-    monkeypatch.setattr(service, "_designs", {})
+    # start prediction-cold too (earlier tests share the service); the
+    # pristine design memo needs no clearing — a memoized design is
+    # handed out as a fresh un-synthesized copy every time
     monkeypatch.setattr(service, "_prediction_cache", {})
     session = _session(service)
     configs = session.space.sample(8, seed=3)

@@ -336,3 +336,46 @@ def test_service_empty_batch():
         "linear", options=_options(), combos=COMBOS, registry=None
     )
     assert service.predict_batch([]) == []
+
+
+def test_design_memo_stays_pristine():
+    """The design memo hands out fresh, never-synthesized copies.
+
+    The pipeline's HLS stage mutates the design module in place.
+    Memoizing the design *object* meant a second, stage-cache-cold use
+    re-synthesized an already-transformed module — double-applying the
+    directive transforms — which is why fresh-store tests used to clear
+    ``service._designs`` by hand.
+    """
+    import repro.util.cache as cache_mod
+    from repro.util.cache import KeyedCache
+
+    service = CongestionService(
+        "linear", options=_options(), combos=COMBOS, registry=None
+    )
+    request = PredictRequest("face_detection")
+    d1, token1 = service._build_design(request)
+    d2, token2 = service._build_design(request)
+    assert token1 == token2
+    assert d1 is not d2  # a fresh copy per use, never a shared instance
+    assert d1.module is not d2.module
+
+    # Two stage-cache-cold predicts: each must synthesize a *pristine*
+    # copy from the memo.  With the old object memo the first cold run
+    # mutated the memoized design in place (directive transforms are
+    # destructive), and the second raised DirectiveError re-inlining a
+    # consumed function — which is why fresh-store tests hand-cleared
+    # the memo.
+    service.warm()
+    old_store = cache_mod._GLOBAL_STORES["flow_stages"]
+    try:
+        results = []
+        for _ in range(2):
+            cache_mod._GLOBAL_STORES["flow_stages"] = KeyedCache()
+            service._prediction_cache.clear()
+            results.append(service.predict(request))
+    finally:
+        cache_mod._GLOBAL_STORES["flow_stages"] = old_store
+    first, second = results
+    assert second.n_operations == first.n_operations
+    assert second.predicted_max_vertical == first.predicted_max_vertical
