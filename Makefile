@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-serve bench-features \
-	bench-resilience bench-explore bench-place help
+	bench-resilience bench-explore bench-place bench-net help
 
 help:
 	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
@@ -14,6 +14,7 @@ help:
 	@echo "make bench-resilience - resilient-serving load bench (clean vs faulted), write benchmarks/out/BENCH_resilience.json"
 	@echo "make bench-explore  - what-if sweep + autotuner bench, write benchmarks/out/BENCH_explore.json"
 	@echo "make bench-place    - placer bench (center vs analytic vs loop reference), write benchmarks/out/BENCH_place.json"
+	@echo "make bench-net      - TCP serving-edge bench (clean / wire faults / hot-swap / drain), write benchmarks/out/BENCH_net.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -45,3 +46,6 @@ bench-explore:
 
 bench-place:
 	$(PYTHON) benchmarks/perf/run_bench.py --place --repeat 3
+
+bench-net:
+	$(PYTHON) benchmarks/perf/run_bench.py --net

@@ -378,6 +378,227 @@ def bench_resilience(scale: float, seed: int, effort: str,
     }
 
 
+def bench_net(scale: float, seed: int, effort: str,
+              n_requests: int, model: str, rate: float) -> dict:
+    """Network-edge benchmark: open-loop load over real TCP sockets
+    through :class:`NetServer`, in four phases — clean, under wire
+    faults (stalls, garbage frames, worker crashes), across a mid-run
+    model hot-swap, and through a graceful drain.  Hard gates enforce
+    the edge's contract before anything is written: >=99% success under
+    faults, a zero-failure zero-restart hot-swap, and a drain that
+    answers every admitted request.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.errors import (
+        DeadlineExceededError,
+        OverloadedError,
+        ProtocolError,
+        ReproError,
+        ServerClosedError,
+    )
+    from repro.flow import FlowOptions
+    from repro.kernels import KERNEL_BUILDERS
+    from repro.serve import (
+        CongestionService,
+        ModelRegistry,
+        NetClient,
+        NetServerConfig,
+        PredictRequest,
+        ResilientCongestionServer,
+        ServerConfig,
+        run_open_loop_net,
+        start_net_server,
+    )
+    from repro.util import faults
+
+    fault_plan = ("net.stall:delay:s=0.01,p=0.2;"
+                  "net.garbage:corrupt:p=0.05;"
+                  "server.worker:error:p=0.2,max=2")
+    options = FlowOptions(scale=scale, seed=seed, placement_effort=effort)
+    designs = sorted(KERNEL_BUILDERS)
+    requests = [PredictRequest(designs[i % len(designs)])
+                for i in range(n_requests)]
+    config = ServerConfig(max_queue=max(16, n_requests),
+                          batch_window_s=0.01, workers=2)
+    net_config = NetServerConfig(watch_registry=True, registry_poll_s=0.05)
+
+    root = tempfile.mkdtemp(prefix="repro-bench-net-")
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-net-cache-")
+    saved_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    phases: dict[str, dict] = {}
+    handle = None
+
+    def gate(condition: bool, message: str) -> None:
+        if not condition:
+            raise RuntimeError(f"bench-net gate failed: {message}")
+
+    try:
+        service = CongestionService(
+            model, options=options, registry=ModelRegistry(root)
+        )
+        server = ResilientCongestionServer(service, config)
+        handle = start_net_server(server, net_config)
+        host, port = handle.host, handle.port
+
+        # prime the stage cache over the wire so every phase measures
+        # serving + transport, not one-off cold feature extraction
+        with NetClient(host, port, request_timeout_s=600.0) as primer:
+            for design in designs:
+                primer.predict(design, timeout_ms=600_000)
+
+        keys = ("submitted", "completed", "failed", "worker_crashes",
+                "worker_restarts", "swaps")
+
+        def snapshot() -> dict:
+            stats = server.stats()
+            return {k: stats[k] for k in keys}
+
+        def delta(before: dict, after: dict) -> dict:
+            return {k: after[k] - before[k] for k in keys}
+
+        # ---- phase 1: clean wire ------------------------------------
+        before = snapshot()
+        report = run_open_loop_net(host, port, requests, rate_per_s=rate)
+        phases["clean"] = {**report.summary(),
+                           "server_delta": delta(before, snapshot())}
+        gate(report.success_rate >= 0.99,
+             f"clean success {report.success_rate:.3f} < 0.99")
+
+        # ---- phase 2: faulted wire ----------------------------------
+        before = snapshot()
+        faults.install(faults.FaultInjector(
+            faults.parse_fault_plan(fault_plan), seed=seed
+        ))
+        try:
+            report = run_open_loop_net(host, port, requests,
+                                       rate_per_s=rate)
+        finally:
+            injector = faults.active_injector()
+            faults.install(None)
+        phases["faulted"] = {
+            **report.summary(),
+            "server_delta": delta(before, snapshot()),
+            "faults_fired": injector.stats() if injector else {},
+        }
+        gate(report.success_rate >= 0.99,
+             f"faulted success {report.success_rate:.3f} < 0.99 "
+             f"(stalls/garbage/crashes must be survived)")
+
+        # ---- phase 3: mid-run hot-swap ------------------------------
+        before = snapshot()
+
+        def publish() -> None:
+            # a "trainer" republishing the model mid-load: the watcher
+            # must swap it in without failing or restarting anything
+            time.sleep(max(0.1, 0.4 * n_requests / rate))
+            service.registry.save(
+                service.predictor,
+                dataset_fingerprint=service.dataset_fingerprint,
+            )
+
+        publisher = threading.Thread(target=publish)
+        publisher.start()
+        report = run_open_loop_net(host, port, requests, rate_per_s=rate)
+        publisher.join(timeout=30)
+        swap_deadline = time.monotonic() + 5.0
+        while server.stats()["swaps"] - before["swaps"] < 1 \
+                and time.monotonic() < swap_deadline:
+            time.sleep(0.02)
+        hot_delta = delta(before, snapshot())
+        with NetClient(host, port) as checker:
+            generation = checker.predict(designs[0])["model_generation"]
+        phases["hotswap"] = {**report.summary(),
+                             "server_delta": hot_delta,
+                             "model_generation_after": generation}
+        gate(hot_delta["swaps"] >= 1, "no hot-swap happened mid-run")
+        gate(report.succeeded == report.offered,
+             f"hot-swap phase failed requests: "
+             f"{report.offered - report.succeeded} of {report.offered}")
+        gate(hot_delta["worker_restarts"] == 0,
+             "hot-swap must not restart workers")
+
+        # ---- phase 4: graceful drain --------------------------------
+        outcomes = {"succeeded": 0, "typed_rejected": 0, "transport": 0}
+        outcomes_lock = threading.Lock()
+
+        def burst(i: int) -> None:
+            try:
+                with NetClient(host, port, retries=0) as client:
+                    client.predict(requests[i % len(requests)].design)
+                kind = "succeeded"
+            except (OverloadedError, DeadlineExceededError,
+                    ServerClosedError):
+                kind = "typed_rejected"
+            except ProtocolError:
+                kind = "transport"
+            except ReproError:
+                kind = "typed_rejected"
+            except OSError:
+                kind = "transport"
+            with outcomes_lock:
+                outcomes[kind] += 1
+
+        before = snapshot()
+        threads = [threading.Thread(target=burst, args=(i,))
+                   for i in range(n_requests)]
+        # SIGTERM lands mid-burst: half the callers are in, the rest
+        # race the drain and must be answered or rejected typed
+        shutter = threading.Thread(
+            target=lambda: handle.shutdown(drain=True)
+        )
+        for i, t in enumerate(threads):
+            t.start()
+            if i == n_requests // 2:
+                shutter.start()
+            time.sleep(1.0 / rate)
+        if not shutter.is_alive() and shutter.ident is None:
+            shutter.start()
+        for t in threads:
+            t.join(timeout=60)
+        shutter.join(timeout=60)
+        drain_delta = delta(before, snapshot())
+        handle = None
+        phases["drain"] = {
+            "offered": n_requests,
+            **outcomes,
+            "server_delta": drain_delta,
+        }
+        # the drain contract: whatever was ADMITTED is ANSWERED —
+        # nothing admitted fails, nothing is left pending
+        gate(drain_delta["failed"] == 0,
+             f"drain failed {drain_delta['failed']} admitted requests")
+        gate(drain_delta["completed"] == drain_delta["submitted"],
+             f"drain left requests unanswered: "
+             f"{drain_delta['submitted'] - drain_delta['completed']}")
+    finally:
+        faults.install(None)
+        if handle is not None:
+            handle.shutdown(drain=False)
+        if saved_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_env
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "model": model,
+        "n_requests": n_requests,
+        "rate_per_s": rate,
+        "fault_plan": fault_plan,
+        "server": {"max_queue": config.max_queue,
+                   "batch_window_ms": config.batch_window_s * 1e3,
+                   "workers": config.workers},
+        "net": {"max_conn_inflight": net_config.max_conn_inflight,
+                "registry_poll_ms": net_config.registry_poll_s * 1e3},
+        "phases": phases,
+    }
+
+
 def bench_explore(scale: float, seed: int, effort: str, model: str,
                   max_configs: int, budget: int) -> dict:
     """What-if exploration benchmark: predict-mode sweep throughput vs
@@ -711,6 +932,11 @@ def main(argv=None) -> int:
                              "init vs loop reference, with post-route "
                              "congestion parity gates); writes "
                              "BENCH_place.json")
+    parser.add_argument("--net", action="store_true",
+                        help="benchmark the TCP serving edge over real "
+                             "sockets: clean, wire-faulted, mid-run "
+                             "hot-swap, and graceful-drain phases; "
+                             "writes BENCH_net.json")
     parser.add_argument("--max-configs", type=int, default=24,
                         help="sweep size for --explore")
     parser.add_argument("--budget", type=int, default=24,
@@ -729,15 +955,16 @@ def main(argv=None) -> int:
     if args.scale <= 0:
         parser.error(f"--scale must be positive, got {args.scale}")
     if sum((args.serve, args.features, args.resilience,
-            args.explore, args.place)) > 1:
-        parser.error("--serve, --features, --resilience, --explore and "
-                     "--place are mutually exclusive")
+            args.explore, args.place, args.net)) > 1:
+        parser.error("--serve, --features, --resilience, --explore, "
+                     "--place and --net are mutually exclusive")
     if args.out is None:
         name = ("BENCH_serve.json" if args.serve
                 else "BENCH_features.json" if args.features
                 else "BENCH_resilience.json" if args.resilience
                 else "BENCH_explore.json" if args.explore
                 else "BENCH_place.json" if args.place
+                else "BENCH_net.json" if args.net
                 else "BENCH_flow.json")
         args.out = os.path.join(os.path.dirname(__file__), os.pardir,
                                 "out", name)
@@ -780,6 +1007,19 @@ def main(argv=None) -> int:
             },
             **bench_resilience(args.scale, args.seed, args.effort,
                                args.requests, args.model, args.rate),
+        }
+    elif args.net:
+        report = {
+            "meta": {
+                "scale": args.scale,
+                "seed": args.seed,
+                "effort": args.effort,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+            **bench_net(args.scale, args.seed, args.effort,
+                        args.requests, args.model, args.rate),
         }
     elif args.features:
         report = {
@@ -860,6 +1100,25 @@ def main(argv=None) -> int:
                   f"deadline-miss={stats['deadline_misses']} "
                   f"crashes={stats['worker_crashes']} "
                   f"restarts={stats['worker_restarts']}")
+        return 0
+    if args.net:
+        for phase, stats in report["phases"].items():
+            delta = stats["server_delta"]
+            if phase == "drain":
+                print(f"{phase:9s} offered={stats['offered']} "
+                      f"succeeded={stats['succeeded']} "
+                      f"typed-rejected={stats['typed_rejected']} "
+                      f"transport={stats['transport']}  "
+                      f"admitted={delta['submitted']} "
+                      f"answered={delta['completed']} "
+                      f"failed={delta['failed']}")
+                continue
+            latency = stats["latency_ms"]
+            print(f"{phase:9s} success={stats['success_rate']*100:.1f}%  "
+                  f"p50={latency['p50']:.1f}ms p99={latency['p99']:.1f}ms  "
+                  f"crashes={delta['worker_crashes']} "
+                  f"restarts={delta['worker_restarts']} "
+                  f"swaps={delta['swaps']}")
         return 0
     if args.features:
         for name, stats in report["combos"].items():

@@ -11,6 +11,12 @@ serve-demo  train-or-load via the model registry, answer a request
 explore     what-if directive exploration: sweep a directive space
             (``--mode sweep``) or run the predictor-guided autotuner
             (``--mode tune``) without ever place-and-routing
+serve-net   run the asyncio TCP serving edge (length-prefixed JSON
+            frames, graceful drain on SIGTERM, model hot-swap)
+net-client  talk to a running serve-net: predict / health / ready /
+            stats over the wire
+publish-model  train-or-load a model and (re)write it to the registry
+            — running serve-net instances hot-swap it in
 
 All commands accept ``--cache-dir DIR`` (persist flow results, datasets
 and trained models across processes) and ``--jobs N`` (parallel dataset
@@ -43,7 +49,11 @@ from repro.kernels import (
 )
 from repro.predict import CongestionPredictor, evaluate_models, suggest_resolutions
 from repro.serve import (
+    PROTOCOL_VERSION,
     CongestionService,
+    NetClient,
+    NetServer,
+    NetServerConfig,
     PredictRequest,
     ResilientCongestionServer,
     ServerConfig,
@@ -371,6 +381,125 @@ def cmd_serve_demo(args) -> int:
     return 0
 
 
+def cmd_serve_net(args) -> int:
+    """Run the asyncio TCP serving edge until SIGTERM/SIGINT, then
+    drain gracefully (every admitted request is answered)."""
+    import asyncio
+
+    if args.faults:
+        faults.install(faults.FaultInjector(
+            faults.parse_fault_plan(args.faults), seed=args.seed
+        ))
+    service = CongestionService(
+        args.model, options=_options(args), n_jobs=args.jobs
+    )
+    server_config = ServerConfig(
+        max_queue=args.queue,
+        batch_window_s=args.batch_window_ms / 1e3,
+        workers=args.workers,
+        default_timeout_s=(
+            args.timeout_ms / 1e3 if args.timeout_ms else None
+        ),
+    )
+    net_config = NetServerConfig(
+        host=args.host, port=args.port,
+        max_conn_inflight=args.max_conn_inflight,
+        watch_registry=not args.no_hot_swap,
+        registry_poll_s=args.registry_poll_ms / 1e3,
+    )
+    server = ResilientCongestionServer(service, server_config)
+    net = NetServer(server, net_config)
+
+    async def _serve() -> None:
+        start = time.perf_counter()
+        await net.start()
+        swap = "off" if args.no_hot_swap or net.watcher is None else \
+            f"every {net_config.registry_poll_s:g}s"
+        print(f"model ready in {time.perf_counter() - start:.2f}s "
+              f"({args.model}); listening on {net_config.host}:{net.port} "
+              f"(protocol v{PROTOCOL_VERSION}, hot-swap watch {swap}); "
+              f"SIGTERM drains", flush=True)
+        await net.run()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # non-loop platforms: treated like SIGINT-drain
+    finally:
+        if args.faults:
+            faults.install(None)
+    stats = server.stats()
+    print(f"drained: {stats['completed']} completed, "
+          f"{stats['failed']} failed, {stats['swaps']} hot-swaps, "
+          f"{stats['worker_restarts']} worker restarts")
+    return 0
+
+
+def cmd_net_client(args) -> int:
+    """One-shot wire client against a running ``serve-net``."""
+    with NetClient(args.host, args.port,
+                   request_timeout_s=args.wait_s) as client:
+        if args.health:
+            print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.ready:
+            ready = client.ready()
+            print(f"ready: {ready}")
+            return 0 if ready else 1
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, default=str))
+            return 0
+        if not args.designs:
+            print("error: give design names, or --health/--ready/--stats",
+                  file=sys.stderr)
+            return 1
+        for design in args.designs:
+            result = client.predict(
+                design, variant=args.variant, top=args.top,
+                timeout_ms=args.timeout_ms,
+            )
+            flags = " degraded" if result["degraded"] else ""
+            print(f"{design} [{result['variant']}]  "
+                  f"V {result['predicted_max_vertical']:.1f}%  "
+                  f"H {result['predicted_max_horizontal']:.1f}%  "
+                  f"(model '{result['model_source']}' "
+                  f"gen {result['model_generation']}, "
+                  f"{result['latency_ms']:.1f}ms{flags})")
+            for region in result["regions"]:
+                print(f"  {region['source_file']}:{region['source_line']}"
+                      f"  V {region['vertical']:.1f}%  "
+                      f"H {region['horizontal']:.1f}%  "
+                      f"#ops {region['n_ops']}")
+    return 0
+
+
+def cmd_publish_model(args) -> int:
+    """Train-or-load a model, then (re)write it to the registry.
+
+    A re-save bumps the registry's artifact version even for an
+    identical model, so every running ``serve-net`` watching that
+    registry hot-swaps it in — the smallest possible "deploy"."""
+    service = CongestionService(
+        args.model, options=_options(args), n_jobs=args.jobs
+    )
+    if service.registry is None:
+        print(f"error: publish-model needs --cache-dir or "
+              f"${CACHE_DIR_ENV} (a registry to publish into)",
+              file=sys.stderr)
+        return 1
+    start = time.perf_counter()
+    source = service.warm()
+    manifest = service.registry.save(
+        service.predictor, dataset_fingerprint=service.dataset_fingerprint
+    )
+    print(f"published {args.model} model (from '{source}', "
+          f"{manifest.n_training_samples} training samples) for dataset "
+          f"{service.dataset_fingerprint[:12]}... in "
+          f"{time.perf_counter() - start:.2f}s")
+    print(f"registry: {service.registry.root}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -441,6 +570,67 @@ def main(argv=None) -> int:
                               f"(also via ${faults.FAULTS_ENV})")
     _add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve_demo)
+
+    p_net = sub.add_parser(
+        "serve-net",
+        help="run the asyncio TCP serving edge (drains on SIGTERM)",
+    )
+    p_net.add_argument("--host", default="127.0.0.1")
+    p_net.add_argument("--port", type=int, default=7741,
+                       help="TCP port (0 = ephemeral, printed at start)")
+    p_net.add_argument("--model", default="gbrt",
+                       choices=("linear", "ann", "gbrt"))
+    p_net.add_argument("--queue", type=int, default=64,
+                       help="admission queue capacity")
+    p_net.add_argument("--batch-window-ms", type=float, default=10.0)
+    p_net.add_argument("--workers", type=int, default=1)
+    p_net.add_argument("--timeout-ms", type=float, default=None,
+                       help="default per-request deadline for requests "
+                            "that carry no timeout_ms")
+    p_net.add_argument("--max-conn-inflight", type=int, default=32,
+                       help="per-connection in-flight predict cap")
+    p_net.add_argument("--no-hot-swap", action="store_true",
+                       help="disable the registry watcher")
+    p_net.add_argument("--registry-poll-ms", type=float, default=200.0,
+                       help="hot-swap watch interval")
+    p_net.add_argument("--faults", default=None, metavar="PLAN",
+                       help="inject a wire/server fault plan, e.g. "
+                            "'net.stall:delay:s=0.01,p=0.2;"
+                            "net.garbage:corrupt:p=0.05' "
+                            f"(also via ${faults.FAULTS_ENV})")
+    _add_common(p_net)
+    p_net.set_defaults(func=cmd_serve_net)
+
+    p_client = sub.add_parser(
+        "net-client",
+        help="query a running serve-net over the wire",
+    )
+    p_client.add_argument("designs", nargs="*",
+                          help="designs to predict (empty with "
+                               "--health/--ready/--stats)")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7741)
+    p_client.add_argument("--variant", default="baseline")
+    p_client.add_argument("--top", type=int, default=5)
+    p_client.add_argument("--timeout-ms", type=float, default=30_000.0,
+                          help="per-request deadline sent on the wire")
+    p_client.add_argument("--wait-s", type=float, default=120.0,
+                          help="client-side socket timeout")
+    p_client.add_argument("--health", action="store_true")
+    p_client.add_argument("--ready", action="store_true")
+    p_client.add_argument("--stats", action="store_true")
+    _add_common(p_client)
+    p_client.set_defaults(func=cmd_net_client)
+
+    p_pub = sub.add_parser(
+        "publish-model",
+        help="(re)write a trained model to the registry — running "
+             "serve-net instances hot-swap it in",
+    )
+    p_pub.add_argument("--model", default="gbrt",
+                       choices=("linear", "ann", "gbrt"))
+    _add_common(p_pub)
+    p_pub.set_defaults(func=cmd_publish_model)
 
     p_explore = sub.add_parser(
         "explore",

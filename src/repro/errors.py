@@ -123,5 +123,12 @@ class ServerClosedError(ServeError):
     accepted and in-queue requests are failed with this error."""
 
 
+class ProtocolError(ServeError):
+    """A wire frame violated the network serving protocol (bad magic,
+    unsupported version, oversized or truncated frame, non-JSON
+    payload).  The offending *connection* is closed; the server itself
+    never dies on garbage input."""
+
+
 class ExploreError(ReproError):
     """Invalid directive-space declaration or exploration request."""

@@ -1,5 +1,5 @@
 """Serving layer: persistent model registry + prediction service +
-fault-tolerant front-end.
+fault-tolerant front-end + network edge.
 
 This subsystem is the scaling seam named in the ROADMAP: every future
 serving change (sharding, multi-backend, hot-swap) lands here instead
@@ -10,13 +10,26 @@ of rewriting the flow or predict layers.  The pieces:
 * :class:`CongestionService` — load-or-train once, batched prediction
   over the HLS-prefix pipeline;
 * :class:`ResilientCongestionServer` — bounded admission, deadline-
-  aware micro-batching, worker supervision, graceful degradation;
+  aware micro-batching, worker supervision, graceful degradation —
+  plus :class:`RegistryWatcher`, the model hot-swap driver;
+* :class:`NetServer` / :class:`NetClient` — the asyncio TCP edge and
+  its reconnecting client (:mod:`repro.serve.protocol` is the frame
+  format);
 * :mod:`repro.serve.resilience` — retry / circuit-breaker / deadline
   primitives;
-* :mod:`repro.serve.loadgen` — open-loop tail-latency measurement.
+* :mod:`repro.serve.loadgen` — open-loop tail-latency measurement,
+  in-process and over real sockets.
 """
 
-from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.client import NetClient
+from repro.serve.loadgen import LoadReport, run_open_loop, run_open_loop_net
+from repro.serve.net import (
+    NetServer,
+    NetServerConfig,
+    NetServerHandle,
+    start_net_server,
+)
+from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.registry import (
     MANIFEST_FORMAT_VERSION,
     ModelManifest,
@@ -29,7 +42,11 @@ from repro.serve.resilience import (
     ResiliencePolicy,
     RetryPolicy,
 )
-from repro.serve.server import ResilientCongestionServer, ServerConfig
+from repro.serve.server import (
+    RegistryWatcher,
+    ResilientCongestionServer,
+    ServerConfig,
+)
 from repro.serve.service import (
     CongestionService,
     PredictRequest,
@@ -40,7 +57,9 @@ __all__ = [
     "MANIFEST_FORMAT_VERSION", "ModelManifest", "ModelRegistry",
     "dataset_spec_fingerprint",
     "CongestionService", "PredictRequest", "PredictResponse",
-    "ResilientCongestionServer", "ServerConfig",
+    "ResilientCongestionServer", "ServerConfig", "RegistryWatcher",
+    "NetServer", "NetServerConfig", "NetServerHandle", "NetClient",
+    "start_net_server", "PROTOCOL_VERSION",
     "CircuitBreaker", "Deadline", "ResiliencePolicy", "RetryPolicy",
-    "LoadReport", "run_open_loop",
+    "LoadReport", "run_open_loop", "run_open_loop_net",
 ]

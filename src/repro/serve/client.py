@@ -1,0 +1,187 @@
+"""Reconnecting, retrying client for the network serving edge.
+
+:class:`NetClient` speaks the :mod:`repro.serve.protocol` frame format
+over a plain blocking socket.  Its recovery policy mirrors the edge's
+failure contract:
+
+* **transport failures retry on a fresh connection** — a reset, a
+  timeout, a garbage frame from the corruption chaos seam, or the
+  server hanging up after *our* frame arrived corrupted all poison the
+  current socket; the client reconnects (with exponential backoff) and
+  resends, up to ``retries`` times;
+* **typed server answers never retry** — an ``error`` frame is the
+  server's deliberate, well-formed verdict (``overloaded``,
+  ``deadline_exceeded``, ``shutting_down``...); it is raised as the
+  matching library exception immediately, so callers keep the exact
+  semantics of in-process :meth:`ResilientCongestionServer.predict`.
+
+One client owns one socket and is **not** thread-safe: give each
+thread its own (the load generator keeps one per worker thread).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    recv_frame_sync,
+    send_frame_sync,
+)
+
+#: wire error code -> library exception raised by the client
+CODE_TO_EXCEPTION = {
+    "overloaded": OverloadedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "server_closed": ServerClosedError,
+    "shutting_down": ServerClosedError,
+    "bad_request": ServeError,
+    "protocol": ProtocolError,
+    "serve_error": ServeError,
+    "internal": ServeError,
+}
+
+
+def exception_for(error: dict) -> Exception:
+    """Typed exception for an ``error`` frame body."""
+    code = error.get("code", "internal")
+    message = error.get("message", "") or f"server error ({code})"
+    return CODE_TO_EXCEPTION.get(code, ServeError)(message)
+
+
+class NetClient:
+    """Blocking client for one serving endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 60.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_frame_bytes = max_frame_bytes
+        self.reconnects = 0
+        self.transport_retries = 0
+        self._sock: socket.socket | None = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+            sock.settimeout(self.request_timeout_s)
+            self._sock = sock
+            self.reconnects += 1
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, body: dict) -> dict:
+        """Send one request frame and return its matching response.
+
+        Retries transport failures on a fresh connection; responses
+        whose ``id`` does not match (stale answers to an earlier
+        request that timed out client-side) are discarded, keeping the
+        stream in sync without closing it.
+        """
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.transport_retries += 1
+                time.sleep(
+                    min(self.retry_backoff_s * (2 ** (attempt - 1)), 1.0)
+                )
+            try:
+                sock = self._connected()
+                send_frame_sync(sock, body,
+                                max_frame_bytes=self.max_frame_bytes)
+                while True:
+                    message = recv_frame_sync(
+                        sock, max_frame_bytes=self.max_frame_bytes
+                    )
+                    if message is None:
+                        raise ProtocolError(
+                            "connection closed while awaiting the response"
+                        )
+                    if message.get("id") == body["id"]:
+                        return message
+                    # a frame for some other (abandoned) request id:
+                    # drop it and keep reading
+            except (OSError, ProtocolError) as exc:
+                # transport-level failure: this socket is untrustworthy
+                # (possibly mid-frame); poison it and retry fresh
+                self.close()
+                last = exc
+        assert last is not None
+        raise last
+
+    def request(self, rtype: str, **fields) -> dict:
+        """Send one typed request; returns the raw ``ok`` response
+        message, or raises the exception behind an ``error`` frame."""
+        body = {"id": f"c{next(self._ids)}", "type": rtype, **fields}
+        message = self._roundtrip(body)
+        if message.get("ok"):
+            return message
+        error = message.get("error") or {}
+        raise exception_for(error)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        design: str,
+        *,
+        variant: str = "baseline",
+        top: int = 5,
+        timeout_ms: float | None = None,
+        directives: list | tuple | None = None,
+    ) -> dict:
+        """Predict congestion for ``design``; returns the result dict
+        (regions, predicted maxima, model source/generation, ...)."""
+        fields: dict = {"design": design, "variant": variant, "top": top}
+        if timeout_ms is not None:
+            fields["timeout_ms"] = timeout_ms
+        if directives is not None:
+            fields["directives"] = list(directives)
+        return self.request("predict", **fields)["result"]
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def ready(self) -> bool:
+        return bool(self.request("ready").get("ready"))
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]

@@ -1,0 +1,216 @@
+"""The wire protocol of the network serving edge.
+
+A *frame* is an 8-byte binary header followed by a UTF-8 JSON object::
+
+    +------+---------+----------------------+---------------+
+    | "RPN"| version  | payload length (u32) | JSON payload  |
+    | 3 B  | 1 B      | 4 B big-endian       | length bytes  |
+    +------+---------+----------------------+---------------+
+
+Every decoding failure — wrong magic, unsupported version, zero or
+oversized length, truncated payload, non-JSON bytes, a payload that is
+not a JSON object — raises a typed
+:class:`~repro.errors.ProtocolError`.  The serving edge's contract is
+that a garbage frame kills the *connection* it arrived on, never the
+server: callers catch :class:`ProtocolError`, answer with a typed
+goodbye if the socket still works, and close.
+
+Messages are flat JSON objects.  Requests carry ``id`` (echoed verbatim
+in the response so a pipelining client can match answers that complete
+out of order) and ``type`` (``predict`` | ``health`` | ``ready`` |
+``stats``).  Responses carry ``ok``; failures carry
+``error: {code, message}`` with codes mapped back to the library's
+typed exceptions by :mod:`repro.serve.client`.
+
+Chaos seams: every read passes ``net.stall`` + ``net.read``, every
+write ``net.stall`` + ``net.write``, and every *encoded* frame passes
+the ``net.garbage`` corruption filter — so the fault injector can stall
+the wire, abort it mid-operation, or hand the peer garbage, and the
+chaos suite can prove all three die typed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+from repro.errors import ProtocolError
+from repro.util.faults import async_fault_point, fault_point, fault_transform
+
+#: bump on incompatible frame-layout changes; a peer speaking another
+#: version is rejected with a typed ProtocolError, never misparsed
+PROTOCOL_VERSION = 1
+
+MAGIC = b"RPN"
+_HEADER = struct.Struct(">3sBI")
+HEADER_BYTES = _HEADER.size
+
+#: refuse to buffer frames beyond this (backpressure, not OOM)
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# encode / decode (transport-independent)
+# ----------------------------------------------------------------------
+def encode_frame(message: dict, *,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialize ``message`` into one wire frame.
+
+    The encoded bytes pass through the ``net.garbage`` corruption
+    filter, which is how the chaos suite makes a peer receive garbage.
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"messages must be JSON objects, got {type(message).__name__}"
+        )
+    payload = json.dumps(message, default=str).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    frame = _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+    return fault_transform("net.garbage", frame)
+
+
+def decode_header(header: bytes, *,
+                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> int:
+    """Validate an 8-byte frame header; returns the payload length."""
+    if len(header) != HEADER_BYTES:
+        raise ProtocolError(
+            f"short frame header: {len(header)} of {HEADER_BYTES} bytes"
+        )
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this library speaks {PROTOCOL_VERSION})"
+        )
+    if length == 0:
+        raise ProtocolError("empty frame payload")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return length
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse a frame payload into a message dict, typed on failure."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def error_message(msg_id, code: str, message: str) -> dict:
+    """A typed failure response frame body."""
+    return {"id": msg_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+# ----------------------------------------------------------------------
+# asyncio transport (the server side)
+# ----------------------------------------------------------------------
+async def read_frame(
+    reader: asyncio.StreamReader, *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Truncation mid-frame, bad headers and undecodable payloads raise
+    :class:`ProtocolError`; injected ``net.read`` faults surface as the
+    ``OSError`` they are.
+    """
+    await async_fault_point("net.stall")
+    await async_fault_point("net.read")
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between frames: a clean goodbye
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} of "
+            f"{HEADER_BYTES} bytes)"
+        ) from exc
+    length = decode_header(header, max_frame_bytes=max_frame_bytes)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes)"
+        ) from exc
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict, *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame, honouring the write fault seams."""
+    frame = encode_frame(message, max_frame_bytes=max_frame_bytes)
+    await async_fault_point("net.stall")
+    await async_fault_point("net.write")
+    writer.write(frame)
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking-socket transport (the client side)
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame_sync(sock: socket.socket, message: dict, *,
+                    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+    """Blocking-socket counterpart of :func:`write_frame`."""
+    frame = encode_frame(message, max_frame_bytes=max_frame_bytes)
+    fault_point("net.stall")
+    fault_point("net.write")
+    sock.sendall(frame)
+
+
+def recv_frame_sync(
+    sock: socket.socket, *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict | None:
+    """Blocking-socket counterpart of :func:`read_frame`."""
+    fault_point("net.stall")
+    fault_point("net.read")
+    header = _recv_exact(sock, HEADER_BYTES)
+    if not header:
+        return None
+    if len(header) != HEADER_BYTES:
+        raise ProtocolError(
+            f"connection closed mid-header ({len(header)} of "
+            f"{HEADER_BYTES} bytes)"
+        )
+    length = decode_header(header, max_frame_bytes=max_frame_bytes)
+    payload = _recv_exact(sock, length)
+    if len(payload) != length:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(payload)} of "
+            f"{length} payload bytes)"
+        )
+    return decode_payload(payload)

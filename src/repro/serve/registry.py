@@ -193,6 +193,23 @@ class ModelRegistry:
         self.saves += 1
         return manifest
 
+    def artifact_version(self, model_family: str, dataset_fingerprint: str,
+                         device: Device | None = None) -> tuple | None:
+        """Opaque change token for the persisted (manifest, model) pair,
+        or ``None`` when nothing is persisted.
+
+        A re-``save`` of the same key rewrites the manifest via
+        ``os.replace``, so its mtime/size pair changes atomically — the
+        registry watcher behind model hot-swap polls this token instead
+        of re-reading and re-validating the manifest every tick.
+        """
+        path = self.manifest_path(model_family, dataset_fingerprint, device)
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
     # ------------------------------------------------------------------
     def read_manifest(self, model_family: str, dataset_fingerprint: str,
                       device: Device | None = None) -> ModelManifest:

@@ -78,6 +78,15 @@ class ServerConfig:
     default_timeout_s: float | None = None
     #: how often the supervisor scans for crashed workers
     supervisor_poll_s: float = 0.02
+    #: sliding window over which worker restarts are budgeted
+    restart_window_s: float = 10.0
+    #: restarts allowed inside the window before the supervisor gives
+    #: up: stops respawning, fails queued work typed, rejects new
+    #: submits (``supervisor_gave_up`` in stats) — never a hot loop
+    restart_budget: int = 32
+    #: base backoff before each successive restart in the window
+    #: (doubles per recent restart, capped at 0.25s)
+    restart_backoff_s: float = 0.01
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -86,6 +95,10 @@ class ServerConfig:
             raise ServeError(f"batch_max must be >= 1, got {self.batch_max}")
         if self.workers < 1:
             raise ServeError(f"workers must be >= 1, got {self.workers}")
+        if self.restart_budget < 1:
+            raise ServeError(
+                f"restart_budget must be >= 1, got {self.restart_budget}"
+            )
 
 
 @dataclass
@@ -110,13 +123,26 @@ class _AdmissionQueue:
         self.capacity = capacity
         self._items: deque[_Item] = deque()
         self._cond = threading.Condition()
+        self._closed = False
 
     def __len__(self) -> int:
         with self._cond:
             return len(self._items)
 
+    def close(self) -> None:
+        """Refuse all further admissions.  Taking this decision under
+        the queue lock is what makes submit-vs-close race-free: a
+        future either enters the queue before the close (and will be
+        drained or served) or its ``put`` raises — it can never be
+        admitted into a queue nobody will drain again."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
     def put(self, item: _Item) -> None:
         with self._cond:
+            if self._closed:
+                raise ServerClosedError("server is closed")
             if len(self._items) >= self.capacity:
                 raise OverloadedError(
                     f"admission queue full ({self.capacity} requests "
@@ -190,6 +216,7 @@ class ResilientCongestionServer:
             "batches": 0, "batched_requests": 0,
             "worker_crashes": 0, "worker_restarts": 0,
             "late_deliveries": 0, "last_worker_crash": "",
+            "inflight": 0, "swaps": 0, "supervisor_gave_up": False,
         }
         self._workers: list[threading.Thread] = []
         self._workers_lock = threading.Lock()
@@ -211,22 +238,78 @@ class ResilientCongestionServer:
         return worker
 
     def _supervise(self) -> None:
-        """Restart crashed workers until shutdown.  Queued requests
-        survive a crash: the dying worker re-queued them at the front,
-        and the replacement picks them up."""
+        """Restart crashed workers until shutdown, under a sliding-window
+        restart budget.  Queued requests survive a crash: the dying
+        worker re-queued them at the front, and the replacement picks
+        them up.  A *restart storm* — more than ``restart_budget``
+        restarts inside ``restart_window_s`` — means the service itself
+        is broken, not one unlucky batch: the supervisor stops
+        respawning, fails queued work typed, and the server rejects all
+        further submits (``supervisor_gave_up`` in stats)."""
+        restarts: deque[float] = deque()
         while not self._stop.wait(self.config.supervisor_poll_s):
             with self._workers_lock:
-                for i, worker in enumerate(self._workers):
-                    if worker.is_alive() or self._stop.is_set():
-                        continue
+                dead = [i for i, worker in enumerate(self._workers)
+                        if not worker.is_alive()]
+            if not dead or self._stop.is_set():
+                continue
+            now = time.monotonic()
+            while restarts and now - restarts[0] > self.config.restart_window_s:
+                restarts.popleft()
+            for i in dead:
+                if len(restarts) >= self.config.restart_budget:
+                    self._give_up()
+                    return
+                backoff = min(
+                    self.config.restart_backoff_s * (2 ** len(restarts)),
+                    0.25,
+                )
+                if self._stop.wait(backoff):
+                    return
+                with self._workers_lock:
+                    if self._workers[i].is_alive():
+                        continue  # already replaced
                     self._workers[i] = self._spawn_worker()
-                    with self._stats_lock:
-                        self._stats["worker_restarts"] += 1
+                restarts.append(time.monotonic())
+                with self._stats_lock:
+                    self._stats["worker_restarts"] += 1
 
-    def close(self, *, timeout_s: float = 5.0) -> None:
-        """Stop accepting work, fail queued requests with
-        :class:`ServerClosedError`, join workers."""
+    def _give_up(self) -> None:
+        """Restart budget exhausted: stop serving, fail queued work."""
+        with self._stats_lock:
+            self._stats["supervisor_gave_up"] = True
         self._closed = True
+        self._queue.close()
+        self._queue.wake_all()
+        for item in self._queue.drain():
+            self._fail(item, ServerClosedError(
+                "supervisor gave up: worker restart budget "
+                f"({self.config.restart_budget} restarts per "
+                f"{self.config.restart_window_s:g}s) exhausted"
+            ))
+
+    def close(self, *, drain: bool = True, timeout_s: float = 5.0) -> None:
+        """Stop accepting work and shut down.
+
+        With ``drain=True`` (the default) every *already admitted*
+        request is served before workers stop: the queue refuses new
+        submits immediately, then close waits (bounded by
+        ``timeout_s``) for the queue and in-flight batches to empty.
+        With ``drain=False`` — or for whatever is still unanswered when
+        the drain times out — queued requests are failed with
+        :class:`ServerClosedError`: typed, never silently dropped.
+        """
+        self._closed = True
+        self._queue.close()
+        if drain:
+            horizon = time.monotonic() + timeout_s
+            while time.monotonic() < horizon:
+                with self._stats_lock:
+                    inflight = self._stats["inflight"]
+                    gave_up = self._stats["supervisor_gave_up"]
+                if gave_up or (len(self._queue) == 0 and inflight == 0):
+                    break
+                time.sleep(0.005)
         self._stop.set()
         self._queue.wake_all()
         for item in self._queue.drain():
@@ -291,6 +374,23 @@ class ResilientCongestionServer:
         with self._service_lock:
             return self.service.warm()
 
+    def hot_swap(self, predictor, *, source: str = "registry") -> int:
+        """Atomically adopt a new predictor between micro-batches.
+
+        Taking ``_service_lock`` — the same lock that serializes
+        ``predict_batch`` — is the consistency guarantee: an in-flight
+        batch finishes on the model it started with, and every batch is
+        answered by exactly one model generation.  Returns the new
+        generation id.
+        """
+        with self._service_lock:
+            generation = self.service.adopt_predictor(
+                predictor, source=source
+            )
+        with self._stats_lock:
+            self._stats["swaps"] += 1
+        return generation
+
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
@@ -302,6 +402,8 @@ class ResilientCongestionServer:
             )
             if not batch:
                 continue
+            with self._stats_lock:
+                self._stats["inflight"] += len(batch)
             pending = set(range(len(batch)))
             try:
                 # chaos seam: an injected fault here escapes the loop —
@@ -316,7 +418,11 @@ class ResilientCongestionServer:
                 with self._stats_lock:
                     self._stats["worker_crashes"] += 1
                     self._stats["last_worker_crash"] = repr(exc)
+                    self._stats["inflight"] -= len(batch)
                 return
+            else:
+                with self._stats_lock:
+                    self._stats["inflight"] -= len(batch)
 
     def _fail(self, item: _Item, exc: Exception) -> None:
         with self._stats_lock:
@@ -398,3 +504,100 @@ class ResilientCongestionServer:
         stats["queue_depth"] = len(self._queue)
         stats["service"] = self.service.stats()
         return stats
+
+
+class RegistryWatcher:
+    """Model hot-swap driver: polls the registry for a newer persisted
+    model matching the service's (family, dataset, device) key and
+    atomically swaps it in via :meth:`ResilientCongestionServer.hot_swap`.
+
+    The deployment story this serves: a trainer process re-``save``\\ s
+    an improved model under the same key, and every serving process
+    picks it up within ``poll_s`` — no restart, no dropped requests.
+    The watcher compares the registry's opaque
+    :meth:`~repro.serve.registry.ModelRegistry.artifact_version` token
+    (not file contents) per tick, so polling is one ``stat`` call.
+
+    :meth:`start` captures the *current* token as the baseline: the
+    model the server warmed with is never re-loaded as a spurious
+    "swap".  Load failures (partially written artifacts, stale
+    manifests) are counted and retried next tick — a bad publish can
+    never take down serving.
+    """
+
+    def __init__(self, server: ResilientCongestionServer, *,
+                 poll_s: float = 0.2) -> None:
+        service = server.service
+        if service.registry is None:
+            raise ServeError(
+                "hot-swap needs a persistent model registry; this "
+                "service is memory-only (no REPRO_CACHE_DIR)"
+            )
+        self.server = server
+        self.poll_s = poll_s
+        self.swaps = 0
+        self.failures = 0
+        self.last_error = ""
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._token: tuple | None = None
+
+    def _current_token(self) -> tuple | None:
+        service = self.server.service
+        return service.registry.artifact_version(
+            service.model_name, service.dataset_fingerprint,
+            service.device,
+        )
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._token = self._current_token()
+        self._thread = threading.Thread(
+            target=self._watch, name="registry-watcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            try:
+                self.poll_once()
+            except Exception as exc:  # never kill the watcher thread
+                self.failures += 1
+                self.last_error = repr(exc)
+
+    def poll_once(self) -> bool:
+        """One watch tick; returns True when a swap happened."""
+        token = self._current_token()
+        if token is None or token == self._token:
+            return False
+        service = self.server.service
+        try:
+            predictor = service.registry.load(
+                service.model_name, service.dataset_fingerprint,
+                device=service.device,
+            )
+        except Exception as exc:
+            # a half-published or stale artifact: keep serving the old
+            # model, count the failure, retry next tick
+            self.failures += 1
+            self.last_error = repr(exc)
+            return False
+        self._token = token
+        self.server.hot_swap(predictor, source="registry")
+        self.swaps += 1
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "swaps": self.swaps,
+            "failures": self.failures,
+            "last_error": self.last_error,
+            "poll_s": self.poll_s,
+        }

@@ -117,6 +117,10 @@ class PredictResponse:
     #: what-if exploration trades these against predicted congestion
     latency_cycles: int = 0
     resources: dict[str, int] = field(default_factory=dict)
+    #: which model generation answered: increments every time the
+    #: service adopts a predictor (train, registry load, hot-swap), so a
+    #: micro-batch served across a hot-swap is provably single-generation
+    model_generation: int = 0
 
 
 class CongestionService:
@@ -161,6 +165,7 @@ class CongestionService:
         self._designs: dict[tuple, bytes] = {}
         self._predictor: CongestionPredictor | None = None
         self._model_source = ""
+        self._model_generation = 0
         self._degraded_reason = ""
         #: finished group results (regions, peaks, HLS summary) per
         #: (design, variant, directives) — predictions over a fixed
@@ -227,6 +232,7 @@ class CongestionService:
 
             try:
                 self._predictor = load()
+                self._model_generation += 1
                 self._counters["registry_loads"] += 1
                 self._model_source = "registry"
                 return self._model_source
@@ -262,6 +268,7 @@ class CongestionService:
         predictor = CongestionPredictor(self.model_name, self.device)
         predictor.fit(dataset)
         self._predictor = predictor
+        self._model_generation += 1
         self._counters["trained"] += 1
         self._model_source = "trained"
         if self.registry is not None:
@@ -285,6 +292,29 @@ class CongestionService:
         if self._predictor is None:
             self.warm()
         return self._predictor
+
+    @property
+    def model_generation(self) -> int:
+        """0 before any model is adopted; +1 per train/load/hot-swap."""
+        return self._model_generation
+
+    def adopt_predictor(self, predictor: CongestionPredictor, *,
+                        source: str = "registry") -> int:
+        """Atomically replace the serving predictor (model hot-swap).
+
+        Returns the new model generation.  The per-predictor prediction
+        cache self-invalidates (it is keyed to the predictor instance),
+        so no stale answer can outlive a swap.  Callers that serve
+        batches concurrently must serialize this against
+        ``predict_batch`` — :meth:`ResilientCongestionServer.hot_swap`
+        does exactly that, which is what makes in-flight micro-batches
+        finish on the old model.
+        """
+        with self._warm_lock:
+            self._predictor = predictor
+            self._model_source = source
+            self._model_generation += 1
+            return self._model_generation
 
     # ------------------------------------------------------------------
     # request handling
@@ -366,6 +396,7 @@ class CongestionService:
         start = time.perf_counter()
         predictor = self.predictor
         source = self._model_source
+        generation = self._model_generation
         if self._prediction_cache_for is not predictor:
             # model retrained/reloaded since the cache was filled
             self._prediction_cache = {}
@@ -437,6 +468,7 @@ class CongestionService:
                 degraded_reason=degraded_reason,
                 latency_cycles=latency,
                 resources=resources,
+                model_generation=generation,
             ))
         self._counters["predictions"] += len(requests)
         if len(requests) > 1:
@@ -449,6 +481,7 @@ class CongestionService:
         return {
             **self._counters,
             "model_source": self._model_source,
+            "model_generation": self._model_generation,
             "degraded_reason": self._degraded_reason,
             "registry": (
                 self.registry.stats() if self.registry is not None else None

@@ -20,6 +20,13 @@ site                   where it fires
 ``registry.load``      before a model artifact is read back
 ``stage.<name>``       before flow stage ``<name>`` executes
 ``server.worker``      in a serving worker, after it claimed a batch
+``net.read``           before a wire frame is read (either side)
+``net.write``          before a wire frame is written (either side)
+``net.stall``          alongside every wire read/write — attach ``delay``
+                       specs here to emulate a slow, stalling network
+``net.garbage``        on every *encoded* frame — ``corrupt`` specs flip
+                       one byte so the peer sees a garbage frame (the
+                       connection must die typed, never the server)
 =====================  =====================================================
 
 Fault kinds:
@@ -151,6 +158,13 @@ class FaultInjector:
                 self.events.append(FaultEvent(site, spec.kind, call))
                 chosen = spec
         return chosen
+
+    def decide(self, site: str) -> FaultSpec | None:
+        """Advance counters at ``site`` and return the spec that fired,
+        without applying it — for callers that must apply the effect
+        themselves (e.g. awaiting a delay instead of blocking an event
+        loop in :func:`async_fault_point`)."""
+        return self._due(site)
 
     def fire(self, site: str) -> None:
         """Raise / sleep / crash if a spec fires at ``site``."""
@@ -304,3 +318,24 @@ def fault_transform(site: str, data: bytes) -> bytes:
     if injector is None:
         return data
     return injector.transform(site, data)
+
+
+async def async_fault_point(site: str) -> None:
+    """Event-loop-safe variant of :func:`fault_point`: a ``delay`` spec
+    awaits ``asyncio.sleep`` instead of blocking the loop thread with
+    ``time.sleep``.  Used by the async wire helpers in
+    :mod:`repro.serve.protocol`."""
+    injector = active_injector()
+    if injector is None:
+        return
+    spec = injector.decide(site)
+    if spec is None:
+        return
+    if spec.kind == "delay":
+        import asyncio
+
+        await asyncio.sleep(spec.delay_seconds)
+    elif spec.kind == "error":
+        raise InjectedFault(spec.message or f"injected fault at {site!r}")
+    elif spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)

@@ -1,0 +1,116 @@
+"""The wire protocol: framing, typed decode errors, chaos seams.
+
+Transport-independent pieces only — the frame bytes themselves.  The
+socket paths (asyncio server side, blocking client side) are exercised
+end-to-end in ``test_net.py``.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    HEADER_BYTES,
+    MAGIC,
+    PROTOCOL_VERSION,
+    decode_header,
+    decode_payload,
+    encode_frame,
+    error_message,
+)
+from repro.util.faults import FaultSpec, injected_faults
+
+
+def roundtrip(message: dict) -> dict:
+    frame = encode_frame(message)
+    length = decode_header(frame[:HEADER_BYTES])
+    assert length == len(frame) - HEADER_BYTES
+    return decode_payload(frame[HEADER_BYTES:])
+
+
+def test_frame_roundtrip():
+    message = {"id": "c1", "type": "predict", "design": "face_detection",
+               "timeout_ms": 250, "directives": [["loop", 1, 4]]}
+    assert roundtrip(message) == message
+
+
+def test_header_layout_is_stable():
+    frame = encode_frame({"a": 1})
+    assert frame[:3] == MAGIC
+    assert frame[3] == PROTOCOL_VERSION
+    (length,) = struct.unpack(">I", frame[4:8])
+    assert length == len(frame) - HEADER_BYTES
+    assert json.loads(frame[HEADER_BYTES:]) == {"a": 1}
+
+
+def test_bad_magic_is_typed():
+    frame = bytearray(encode_frame({"a": 1}))
+    frame[0] ^= 0xFF
+    with pytest.raises(ProtocolError, match="magic"):
+        decode_header(bytes(frame[:HEADER_BYTES]))
+
+
+def test_unsupported_version_is_typed():
+    header = struct.pack(">3sBI", MAGIC, PROTOCOL_VERSION + 1, 10)
+    with pytest.raises(ProtocolError, match="version"):
+        decode_header(header)
+
+
+def test_short_header_is_typed():
+    with pytest.raises(ProtocolError, match="short frame header"):
+        decode_header(b"RP")
+
+
+def test_zero_and_oversized_lengths_are_typed():
+    with pytest.raises(ProtocolError, match="empty"):
+        decode_header(struct.pack(">3sBI", MAGIC, PROTOCOL_VERSION, 0))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode_header(
+            struct.pack(">3sBI", MAGIC, PROTOCOL_VERSION, 1 << 30)
+        )
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"blob": "x" * 64}, max_frame_bytes=32)
+
+
+def test_non_json_and_non_object_payloads_are_typed():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_payload(b"\xff\xfe not json")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_payload(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        encode_frame(["not", "a", "dict"])  # type: ignore[arg-type]
+
+
+def test_error_message_shape():
+    body = error_message("c7", "overloaded", "queue full")
+    assert body == {"id": "c7", "ok": False,
+                    "error": {"code": "overloaded",
+                              "message": "queue full"}}
+
+
+def test_garbage_seam_corrupts_exactly_one_byte_deterministically():
+    message = {"id": "c1", "type": "health"}
+    clean = encode_frame(message)
+    with injected_faults([FaultSpec("net.garbage", "corrupt",
+                                    max_fires=1)]) as injector:
+        corrupted_a = encode_frame(message)
+        untouched = encode_frame(message)  # max_fires spent
+    with injected_faults([FaultSpec("net.garbage", "corrupt",
+                                    max_fires=1)]):
+        corrupted_b = encode_frame(message)
+    assert untouched == clean
+    assert corrupted_a != clean
+    assert corrupted_a == corrupted_b  # same seed => same flipped byte
+    diffs = [i for i, (a, b) in enumerate(zip(clean, corrupted_a))
+             if a != b]
+    assert len(diffs) == 1
+    assert injector.stats()["by_site"] == {"net.garbage": 1}
+    # and the receiving side dies typed on it, one way or another
+    with pytest.raises(ProtocolError):
+        length = decode_header(corrupted_a[:HEADER_BYTES])
+        payload = corrupted_a[HEADER_BYTES:]
+        if len(payload) != length:  # corrupted length field
+            raise ProtocolError("length corrupted")
+        decode_payload(payload)

@@ -238,12 +238,172 @@ def test_close_fails_queued_requests_typed():
     held = server.submit(PredictRequest("a"))
     assert service.started.wait(timeout=5)
     queued = server.submit(PredictRequest("b"))
-    # close while the worker is mid-batch: the queued request is failed
-    # typed; the in-flight one is NOT abandoned
-    server.close(timeout_s=0.2)
+    # non-drain close while the worker is mid-batch: the queued request
+    # is failed typed; the in-flight one is NOT abandoned
+    server.close(drain=False, timeout_s=0.2)
     with pytest.raises(ServerClosedError):
         queued.result(timeout=10)
     with pytest.raises(ServerClosedError, match="closed"):
         server.submit(PredictRequest("c"))
     service.release.set()
     assert held.result(timeout=10).model_source == "stub"
+
+
+def test_drain_close_answers_every_admitted_request():
+    class SlowService(StubService):
+        def predict_batch(self, requests, *, deadline=None):
+            time.sleep(0.02)
+            return super().predict_batch(requests, deadline=deadline)
+
+    service = SlowService()
+    config = ServerConfig(batch_max=1, batch_window_s=0.0, workers=1)
+    server = ResilientCongestionServer(service, config)
+    futures = [server.submit(PredictRequest(f"d{i}")) for i in range(8)]
+    server.close(drain=True, timeout_s=10.0)
+    # every admitted request was served before shutdown, none failed
+    assert [f.result(timeout=1).model_source for f in futures] \
+        == ["stub"] * 8
+    stats = server.stats()
+    assert stats["completed"] == 8
+    assert stats["failed"] == 0
+    with pytest.raises(ServerClosedError):
+        server.submit(PredictRequest("late"))
+
+
+def test_concurrent_submit_vs_close_never_loses_a_future():
+    """The shutdown race: a submit racing close either enters the queue
+    (and is drained/served) or raises typed — no future is ever left
+    forever-pending, and none is answered twice."""
+    for round_ in range(5):
+        service = StubService()
+        config = ServerConfig(max_queue=256, batch_window_s=0.0,
+                              workers=2)
+        server = ResilientCongestionServer(service, config)
+        admitted = []
+        admitted_lock = threading.Lock()
+        go = threading.Event()
+
+        def hammer():
+            go.wait(timeout=5)
+            while True:
+                try:
+                    future = server.submit(PredictRequest("x"))
+                except ServerClosedError:
+                    return
+                except OverloadedError:
+                    continue
+                with admitted_lock:
+                    admitted.append(future)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        go.set()
+        time.sleep(0.02 + 0.01 * round_)
+        server.close(drain=True, timeout_s=10.0)
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+        resolved = 0
+        for future in admitted:
+            assert future.done(), "a submitted future was lost by close"
+            try:
+                assert future.result(timeout=0).model_source == "stub"
+                resolved += 1
+            except ServerClosedError:
+                resolved += 1  # typed, not lost
+        assert resolved == len(admitted)
+        stats = server.stats()
+        assert stats["completed"] + stats["failed"] == len(admitted)
+
+
+def test_supervisor_gives_up_after_restart_storm():
+    service = StubService()
+    config = ServerConfig(batch_window_s=0.0, workers=1,
+                          supervisor_poll_s=0.005,
+                          restart_budget=3, restart_window_s=30.0,
+                          restart_backoff_s=0.001)
+    server = ResilientCongestionServer(service, config)
+    try:
+        with injected_faults(
+            [FaultSpec("server.worker", "error")]  # crash on EVERY claim
+        ):
+            future = server.submit(PredictRequest("doomed"))
+            deadline = time.monotonic() + 10.0
+            while not server.stats()["supervisor_gave_up"]:
+                assert time.monotonic() < deadline, \
+                    "supervisor kept restarting past its budget"
+                time.sleep(0.01)
+        with pytest.raises(ServerClosedError, match="restart budget"):
+            future.result(timeout=10)
+        with pytest.raises(ServerClosedError):
+            server.submit(PredictRequest("after"))
+        stats = server.stats()
+        assert stats["supervisor_gave_up"] is True
+        assert stats["worker_restarts"] == 3
+        assert stats["worker_crashes"] == 4  # initial + 3 restarts
+    finally:
+        server.close(drain=False)
+
+
+def test_hot_swap_waits_for_inflight_batch_and_bumps_generation():
+    class GenerationService(StubService):
+        """Tracks adopt_predictor like the real service; blocks one
+        batch so a swap can race it."""
+
+        def __init__(self):
+            super().__init__()
+            self.model_generation = 1
+            self.release = threading.Event()
+            self.started = threading.Event()
+            self.block_next = True
+
+        def adopt_predictor(self, predictor, *, source="registry"):
+            self.model_generation += 1
+            return self.model_generation
+
+        def predict_batch(self, requests, *, deadline=None):
+            generation = self.model_generation
+            if self.block_next:
+                self.block_next = False
+                self.started.set()
+                assert self.release.wait(timeout=10.0)
+            with self.lock:
+                self.batches.append(list(requests))
+            return [
+                PredictResponse(request=r, model_source="stub",
+                                model_generation=generation)
+                for r in requests
+            ]
+
+    service = GenerationService()
+    config = ServerConfig(batch_max=4, batch_window_s=0.05, workers=1)
+    with ResilientCongestionServer(service, config) as server:
+        first = [server.submit(PredictRequest(f"a{i}")) for i in range(3)]
+        assert service.started.wait(timeout=5)
+
+        swapped = threading.Event()
+
+        def swap():
+            # blocks on _service_lock until the in-flight batch is done
+            server.hot_swap(object())
+            swapped.set()
+
+        swapper = threading.Thread(target=swap)
+        swapper.start()
+        time.sleep(0.05)
+        assert not swapped.is_set()  # swap must wait for the batch
+        service.release.set()
+        swapper.join(timeout=10)
+        assert swapped.is_set()
+
+        second = [server.submit(PredictRequest(f"b{i}")) for i in range(3)]
+        first_gens = {f.result(timeout=10).model_generation
+                      for f in first}
+        second_gens = {f.result(timeout=10).model_generation
+                       for f in second}
+        # each batch is single-generation: the swap landed BETWEEN
+        # batches, never inside one
+        assert first_gens == {1}
+        assert second_gens == {2}
+        assert server.stats()["swaps"] == 1
