@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-serve bench-features \
-	bench-resilience bench-explore bench-place bench-net help
+	bench-resilience bench-explore bench-place bench-net \
+	bench-predict help
 
 help:
 	@echo "make verify         - tier-1 gate: full test + benchmark suite (-x -q)"
@@ -15,6 +16,7 @@ help:
 	@echo "make bench-explore  - what-if sweep + autotuner bench, write benchmarks/out/BENCH_explore.json"
 	@echo "make bench-place    - placer bench (center vs analytic vs loop reference), write benchmarks/out/BENCH_place.json"
 	@echo "make bench-net      - TCP serving-edge bench (clean / wire faults / hot-swap / drain), write benchmarks/out/BENCH_net.json"
+	@echo "make bench-predict  - compiled-kernel vs object-walk + pool throughput bench, write benchmarks/out/BENCH_predict.json"
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -49,3 +51,6 @@ bench-place:
 
 bench-net:
 	$(PYTHON) benchmarks/perf/run_bench.py --net
+
+bench-predict:
+	$(PYTHON) benchmarks/perf/run_bench.py --predict --repeat 3 --requests 240

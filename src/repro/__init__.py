@@ -32,57 +32,66 @@ process loads from the registry under ``REPRO_CACHE_DIR``)::
     responses = service.predict_batch(
         [PredictRequest("face_detection"), PredictRequest("bnn")]
     )
+
+The package namespace resolves lazily (PEP 562): importing ``repro`` is
+free, and inference-only consumers — a serving-pool worker importing
+:mod:`repro.ml.compiled` to load a portable model export — never pull
+in the flow/training stack at all.
 """
 
-from repro.errors import ReproError
-from repro.flow import (
-    FlowContext,
-    FlowOptions,
-    FlowPipeline,
-    FlowResult,
-    run_flow,
-    run_flow_on_design,
-)
-from repro.dataset import CongestionDataset, build_paper_dataset
-from repro.predict import (
-    CongestionPredictor,
-    evaluate_models,
-    suggest_resolutions,
-)
-from repro.kernels import (
-    build_face_detection,
-    build_digit_recognition,
-    build_spam_filter,
-    build_bnn,
-    build_rendering_3d,
-    build_optical_flow,
-    build_kernel,
-    build_combined,
-    PAPER_COMBINATIONS,
-)
-from repro.features import N_FEATURES, FeatureCategory, feature_names
-from repro.fpga import xc7z020
-from repro.serve import (
-    CongestionService,
-    ModelRegistry,
-    PredictRequest,
-    PredictResponse,
-)
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "ReproError",
-    "FlowContext", "FlowOptions", "FlowPipeline", "FlowResult",
-    "run_flow", "run_flow_on_design",
-    "CongestionService", "ModelRegistry", "PredictRequest",
-    "PredictResponse",
-    "CongestionDataset", "build_paper_dataset",
-    "CongestionPredictor", "evaluate_models", "suggest_resolutions",
-    "build_face_detection", "build_digit_recognition", "build_spam_filter",
-    "build_bnn", "build_rendering_3d", "build_optical_flow",
-    "build_kernel", "build_combined", "PAPER_COMBINATIONS",
-    "N_FEATURES", "FeatureCategory", "feature_names",
-    "xc7z020",
-    "__version__",
-]
+#: public name -> defining module, resolved on first attribute access
+_EXPORTS = {
+    "ReproError": "repro.errors",
+    "FlowContext": "repro.flow",
+    "FlowOptions": "repro.flow",
+    "FlowPipeline": "repro.flow",
+    "FlowResult": "repro.flow",
+    "run_flow": "repro.flow",
+    "run_flow_on_design": "repro.flow",
+    "CongestionDataset": "repro.dataset",
+    "build_paper_dataset": "repro.dataset",
+    "CongestionPredictor": "repro.predict",
+    "evaluate_models": "repro.predict",
+    "suggest_resolutions": "repro.predict",
+    "build_face_detection": "repro.kernels",
+    "build_digit_recognition": "repro.kernels",
+    "build_spam_filter": "repro.kernels",
+    "build_bnn": "repro.kernels",
+    "build_rendering_3d": "repro.kernels",
+    "build_optical_flow": "repro.kernels",
+    "build_kernel": "repro.kernels",
+    "build_combined": "repro.kernels",
+    "PAPER_COMBINATIONS": "repro.kernels",
+    "N_FEATURES": "repro.features",
+    "FeatureCategory": "repro.features",
+    "feature_names": "repro.features",
+    "xc7z020": "repro.fpga",
+    "CongestionService": "repro.serve",
+    "ModelRegistry": "repro.serve",
+    "PredictRequest": "repro.serve",
+    "PredictResponse": "repro.serve",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is not None:
+        return getattr(importlib.import_module(module), name)
+    # fall back to subpackage access (``repro.serve`` after a bare
+    # ``import repro``), mirroring eager-init behavior
+    try:
+        return importlib.import_module(f"repro.{name}")
+    except ModuleNotFoundError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -8,6 +8,8 @@ train       run the Table IV evaluation protocol
 predict     train GBRT and print predicted hotspots for a design variant
 serve-demo  train-or-load via the model registry, answer a request
             batch, print latency percentiles and cache statistics
+            (``--pool N`` shards across N worker processes serving
+            the compiled model export)
 explore     what-if directive exploration: sweep a directive space
             (``--mode sweep``) or run the predictor-guided autotuner
             (``--mode tune``) without ever place-and-routing
@@ -54,6 +56,8 @@ from repro.serve import (
     NetClient,
     NetServer,
     NetServerConfig,
+    PoolConfig,
+    PoolServer,
     PredictRequest,
     ResilientCongestionServer,
     ServerConfig,
@@ -332,53 +336,79 @@ def _cmd_serve_resilient(args, service) -> int:
     return 0
 
 
+def _make_service(args) -> CongestionService:
+    """``--pool N`` swaps the in-process service for the sharded
+    multi-process pool — same surface, workers serve the compiled
+    model export from the registry."""
+    if getattr(args, "pool", 0) > 0:
+        return PoolServer(
+            args.model, options=_options(args), n_jobs=args.jobs,
+            pool=PoolConfig(workers=args.pool),
+        )
+    return CongestionService(
+        args.model, options=_options(args), n_jobs=args.jobs
+    )
+
+
 def cmd_serve_demo(args) -> int:
     if args.requests < 1:
         print(f"error: --requests must be >= 1, got {args.requests}",
               file=sys.stderr)
         return 1
-    service = CongestionService(
-        args.model, options=_options(args), n_jobs=args.jobs
-    )
+    service = _make_service(args)
     if args.resilient:
-        return _cmd_serve_resilient(args, service)
+        try:
+            return _cmd_serve_resilient(args, service)
+        finally:
+            service.close()
     if service.registry is None:
         print(f"note: no {CACHE_DIR_ENV}/--cache-dir — model will not "
               f"be persisted", file=sys.stderr)
 
-    start = time.perf_counter()
-    source = service.warm()
-    print(f"model ready from '{source}' in "
-          f"{time.perf_counter() - start:.2f}s "
-          f"({args.model}, dataset {service.dataset_fingerprint[:12]}...)")
+    try:
+        start = time.perf_counter()
+        source = service.warm()
+        print(f"model ready from '{source}' in "
+              f"{time.perf_counter() - start:.2f}s "
+              f"({args.model}, dataset "
+              f"{service.dataset_fingerprint[:12]}...)")
 
-    designs = sorted(KERNEL_BUILDERS)
-    requests = [
-        PredictRequest(designs[i % len(designs)])
-        for i in range(args.requests)
-    ]
-    timing = measure_serving(service, requests)
+        designs = sorted(KERNEL_BUILDERS)
+        requests = [
+            PredictRequest(designs[i % len(designs)])
+            for i in range(args.requests)
+        ]
+        timing = measure_serving(service, requests)
 
-    latencies = timing["latencies"]
-    n = len(requests)
-    print(f"\n{n} requests over {len(designs)} designs:")
-    print(f"  single : {timing['single_seconds']:.3f}s total "
-          f"({n / timing['single_seconds']:.1f} req/s)  "
-          f"p50 {1e3 * _percentile(latencies, 50):.1f}ms  "
-          f"p90 {1e3 * _percentile(latencies, 90):.1f}ms  "
-          f"p99 {1e3 * _percentile(latencies, 99):.1f}ms")
-    print(f"  batched: {timing['batch_seconds']:.3f}s total "
-          f"({n / timing['batch_seconds']:.1f} req/s, one model invocation)")
+        latencies = timing["latencies"]
+        n = len(requests)
+        print(f"\n{n} requests over {len(designs)} designs:")
+        print(f"  single : {timing['single_seconds']:.3f}s total "
+              f"({n / timing['single_seconds']:.1f} req/s)  "
+              f"p50 {1e3 * _percentile(latencies, 50):.1f}ms  "
+              f"p90 {1e3 * _percentile(latencies, 90):.1f}ms  "
+              f"p99 {1e3 * _percentile(latencies, 99):.1f}ms")
+        print(f"  batched: {timing['batch_seconds']:.3f}s total "
+              f"({n / timing['batch_seconds']:.1f} req/s, "
+              f"one model invocation)")
 
-    hottest = service.predict(requests[0])
-    print(f"\nhottest regions of {hottest.request.design}:")
-    for region in hottest.regions[:3]:
-        print(f"  {region.source_file}:{region.source_line}  "
-              f"V {region.vertical:.1f}%  H {region.horizontal:.1f}%")
+        hottest = service.predict(requests[0])
+        print(f"\nhottest regions of {hottest.request.design}:")
+        for region in hottest.regions[:3]:
+            print(f"  {region.source_file}:{region.source_line}  "
+                  f"V {region.vertical:.1f}%  H {region.horizontal:.1f}%")
 
-    print(f"\n{_cache_report(service)}")
-    print(f"stats: {service.stats()}")
-    return 0
+        print(f"\n{_cache_report(service)}")
+        stats = service.stats()
+        if "pool" in stats:
+            pool = stats["pool"]
+            print(f"pool: {pool['pool_workers']} worker(s), "
+                  f"{pool['dispatched_requests']} dispatched, "
+                  f"{pool['inline_fallbacks']} inline fallbacks")
+        print(f"stats: {stats}")
+        return 0
+    finally:
+        service.close()
 
 
 def cmd_serve_net(args) -> int:
@@ -390,9 +420,7 @@ def cmd_serve_net(args) -> int:
         faults.install(faults.FaultInjector(
             faults.parse_fault_plan(args.faults), seed=args.seed
         ))
-    service = CongestionService(
-        args.model, options=_options(args), n_jobs=args.jobs
-    )
+    service = _make_service(args)
     server_config = ServerConfig(
         max_queue=args.queue,
         batch_window_s=args.batch_window_ms / 1e3,
@@ -426,6 +454,7 @@ def cmd_serve_net(args) -> int:
     except KeyboardInterrupt:
         pass  # non-loop platforms: treated like SIGINT-drain
     finally:
+        service.close()  # idempotent; stops pool workers if --pool
         if args.faults:
             faults.install(None)
     stats = server.stats()
@@ -548,6 +577,10 @@ def main(argv=None) -> int:
                          choices=("linear", "ann", "gbrt"))
     p_serve.add_argument("--requests", type=int, default=12,
                          help="number of prediction requests to answer")
+    p_serve.add_argument("--pool", type=int, default=0, metavar="N",
+                         help="shard prediction across N worker "
+                              "processes serving the compiled model "
+                              "export (0 = in-process)")
     p_serve.add_argument("--resilient", action="store_true",
                          help="serve through the fault-tolerant "
                               "front-end (bounded queue, micro-batching,"
@@ -580,6 +613,10 @@ def main(argv=None) -> int:
                        help="TCP port (0 = ephemeral, printed at start)")
     p_net.add_argument("--model", default="gbrt",
                        choices=("linear", "ann", "gbrt"))
+    p_net.add_argument("--pool", type=int, default=0, metavar="N",
+                       help="shard prediction across N worker processes "
+                            "serving the compiled model export "
+                            "(0 = in-process)")
     p_net.add_argument("--queue", type=int, default=64,
                        help="admission queue capacity")
     p_net.add_argument("--batch-window-ms", type=float, default=10.0)

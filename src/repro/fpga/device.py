@@ -149,15 +149,27 @@ class Device:
     # totals
     # ------------------------------------------------------------------
     def totals(self) -> dict[str, int]:
-        """Device-wide resource totals, keyed like RESOURCE_KINDS."""
+        """Device-wide resource totals, keyed like RESOURCE_KINDS.
+
+        Column-analytic: every tile in a column follows the column
+        type's capacity pattern, so one pass over the columns replaces
+        the per-tile ``capacity()`` sweep — this sits on the serving
+        hot path (FeatureExtractor construction calls it per
+        extraction) where the old cols x rows Python loop cost ~6k
+        calls a request.
+        """
         lut = ff = dsp = bram = 0
-        for x in range(self.n_cols):
-            for y in range(self.n_rows):
-                cap = self.capacity(x, y)
-                lut += cap.lut
-                ff += cap.ff
-                dsp += cap.dsp
-                bram += cap.bram18
+        # a site every `step` rows starting at row 0 -> ceil(rows/step)
+        dsp_sites = -(-self.n_rows // self.dsp_rows_per_site)
+        bram_sites = -(-self.n_rows // self.bram_rows_per_site)
+        for ttype in self.column_types:
+            if ttype is TileType.CLB:
+                lut += self.clb_lut * self.n_rows
+                ff += self.clb_ff * self.n_rows
+            elif ttype is TileType.DSP:
+                dsp += dsp_sites
+            else:
+                bram += 2 * bram_sites
         return {"LUT": lut, "FF": ff, "DSP": dsp, "BRAM": bram}
 
     def is_margin(self, x: int, y: int, fraction: float = 0.12) -> bool:

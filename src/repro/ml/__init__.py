@@ -1,36 +1,60 @@
-"""From-scratch NumPy ML stack with a scikit-learn-style API."""
+"""From-scratch NumPy ML stack with a scikit-learn-style API.
 
-from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
-from repro.ml.metrics import (
-    mean_absolute_error,
-    median_absolute_error,
-    mean_squared_error,
-    root_mean_squared_error,
-    r2_score,
-    max_error,
-)
-from repro.ml.preprocessing import StandardScaler
-from repro.ml.model_selection import (
-    train_test_split,
-    KFold,
-    cross_val_score,
-    GridSearchCV,
-    GridSearchResult,
-)
-from repro.ml.linear import LinearRegression, LassoRegression
-from repro.ml.mlp import MLPRegressor
-from repro.ml.tree import FeatureBinner, DecisionTreeRegressor
-from repro.ml.gbrt import GradientBoostingRegressor, RandomForestRegressor
+Exports resolve lazily (PEP 562): :mod:`repro.ml.compiled` — the
+inference-only compiled-ensemble kernel and portable-export loader —
+must stay importable without dragging in the training estimators, which
+is what lets serving-pool workers run models without the training
+stack in the process at all.
+"""
 
-__all__ = [
-    "BaseEstimator", "RegressorMixin", "check_array", "check_X_y",
-    "mean_absolute_error", "median_absolute_error", "mean_squared_error",
-    "root_mean_squared_error", "r2_score", "max_error",
-    "StandardScaler",
-    "train_test_split", "KFold", "cross_val_score", "GridSearchCV",
-    "GridSearchResult",
-    "LinearRegression", "LassoRegression",
-    "MLPRegressor",
-    "FeatureBinner", "DecisionTreeRegressor",
-    "GradientBoostingRegressor", "RandomForestRegressor",
-]
+import importlib
+
+_EXPORTS = {
+    "BaseEstimator": "repro.ml.base",
+    "RegressorMixin": "repro.ml.base",
+    "check_array": "repro.ml.base",
+    "check_X_y": "repro.ml.base",
+    "mean_absolute_error": "repro.ml.metrics",
+    "median_absolute_error": "repro.ml.metrics",
+    "mean_squared_error": "repro.ml.metrics",
+    "root_mean_squared_error": "repro.ml.metrics",
+    "r2_score": "repro.ml.metrics",
+    "max_error": "repro.ml.metrics",
+    "StandardScaler": "repro.ml.preprocessing",
+    "train_test_split": "repro.ml.model_selection",
+    "KFold": "repro.ml.model_selection",
+    "cross_val_score": "repro.ml.model_selection",
+    "GridSearchCV": "repro.ml.model_selection",
+    "GridSearchResult": "repro.ml.model_selection",
+    "LinearRegression": "repro.ml.linear",
+    "LassoRegression": "repro.ml.linear",
+    "MLPRegressor": "repro.ml.mlp",
+    "FeatureBinner": "repro.ml.tree",
+    "DecisionTreeRegressor": "repro.ml.tree",
+    "GradientBoostingRegressor": "repro.ml.gbrt",
+    "RandomForestRegressor": "repro.ml.gbrt",
+    "CompiledEnsemble": "repro.ml.compiled",
+    "CompiledPredictor": "repro.ml.compiled",
+    "compile_ensemble": "repro.ml.compiled",
+    "load_export": "repro.ml.compiled",
+    "save_export": "repro.ml.compiled",
+    "EXPORT_FORMAT_VERSION": "repro.ml.compiled",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is not None:
+        return getattr(importlib.import_module(module), name)
+    try:
+        return importlib.import_module(f"repro.ml.{name}")
+    except ModuleNotFoundError:
+        raise AttributeError(
+            f"module 'repro.ml' has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

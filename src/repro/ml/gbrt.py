@@ -89,11 +89,35 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
             self.train_score_.append(float(np.mean((y - prediction) ** 2)))
 
         self.n_features_in_ = p
+        self._compiled = None
         self._mark_fitted()
         return self
 
     # ------------------------------------------------------------------
+    def compile_kernel(self):
+        """Flat node-table kernel (lazy, cached until the next fit) —
+        see :mod:`repro.ml.compiled`."""
+        self.check_fitted()
+        if getattr(self, "_compiled", None) is None:
+            from repro.ml.compiled import compile_ensemble
+
+            self._compiled = compile_ensemble(self)
+        return self._compiled
+
     def predict(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise MLError(
+                f"X has {X.shape[1]} features, model fitted on "
+                f"{self.n_features_in_}"
+            )
+        codes = self._binner.transform(X)
+        return self.compile_kernel().predict_codes(codes)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """The pinned ``_Node``-walk prediction the compiled kernel is
+        parity-tested against (``tests/ml/test_compiled_parity.py``)."""
         self.check_fitted()
         X = check_array(X)
         if X.shape[1] != self.n_features_in_:
@@ -110,16 +134,21 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         return prediction
 
     def staged_predict(self, X):
-        """Predictions after each boosting stage (tests/diagnostics)."""
+        """Predictions after each boosting stage (tests/diagnostics).
+
+        Routed through the compiled kernel: one leaf-value gather for
+        all stages, then a cumulative sum over the tree axis — no
+        per-stage object walk even in evaluation code.
+        """
         self.check_fitted()
         X = check_array(X)
         codes = self._binner.transform(X)
-        prediction = np.full(X.shape[0], self.init_)
-        for nodes in self._trees:
-            prediction = prediction + self.learning_rate * (
-                _HistogramTreeBuilder.predict_fast(nodes, codes)
-            )
-            yield prediction.copy()
+        kernel = self.compile_kernel()
+        stages = self.init_ + self.learning_rate * np.cumsum(
+            kernel.leaf_values(codes), axis=1
+        )
+        for t in range(stages.shape[1]):
+            yield np.ascontiguousarray(stages[:, t])
 
     # ------------------------------------------------------------------
     @property
@@ -178,10 +207,30 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
             self.split_counts_[feat_idx] += sub_counts
             self._trees.append((feat_idx, nodes))
         self.n_features_in_ = p
+        self._compiled = None
         self._mark_fitted()
         return self
 
+    def compile_kernel(self):
+        """Flat node-table kernel (lazy, cached until the next fit) —
+        per-tree feature subsets are remapped to global columns at
+        compile time; see :mod:`repro.ml.compiled`."""
+        self.check_fitted()
+        if getattr(self, "_compiled", None) is None:
+            from repro.ml.compiled import compile_ensemble
+
+            self._compiled = compile_ensemble(self)
+        return self._compiled
+
     def predict(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        codes = self._binner.transform(X)
+        return self.compile_kernel().predict_codes(codes)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """The pinned ``_Node``-walk prediction the compiled kernel is
+        parity-tested against (``tests/ml/test_compiled_parity.py``)."""
         self.check_fitted()
         X = check_array(X)
         codes = self._binner.transform(X)

@@ -44,10 +44,31 @@ class FeatureBinner:
                 f"X has {X.shape[1]} features, binner fitted on "
                 f"{self.n_features_in_}"
             )
+        # For small batches the per-column searchsorted loop is pure
+        # Python-call overhead (302 calls to bin one row), so count
+        # edges by broadcasting instead: searchsorted(e, x, "right")
+        # == sum(e <= x), bit-identical by definition.  Large batches
+        # amortize the loop and the O(n log b) scan wins back.
+        if X.shape[0] <= 64:
+            padded = getattr(self, "_padded_edges", None)
+            if padded is None:
+                width = max(len(e) for e in self.edges_)
+                padded = np.full((self.n_features_in_, width), np.inf)
+                for j, col_edges in enumerate(self.edges_):
+                    padded[j, :len(col_edges)] = col_edges
+                self._padded_edges = padded
+            return (
+                padded[None, :, :] <= X[:, :, None]
+            ).sum(axis=2, dtype=np.uint8)
         codes = np.empty(X.shape, dtype=np.uint8)
         for j, col_edges in enumerate(self.edges_):
             codes[:, j] = np.searchsorted(col_edges, X[:, j], side="right")
         return codes
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_padded_edges", None)  # derived, rebuilt lazily
+        return state
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
@@ -288,10 +309,29 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         )
         self._nodes = builder.build(codes, y, self.split_counts_)
         self.n_features_in_ = X.shape[1]
+        self._compiled = None
         self._mark_fitted()
         return self
 
+    def compile_kernel(self):
+        """Flat node-table kernel (lazy, cached until the next fit) —
+        see :mod:`repro.ml.compiled`."""
+        self.check_fitted()
+        if getattr(self, "_compiled", None) is None:
+            from repro.ml.compiled import compile_ensemble
+
+            self._compiled = compile_ensemble(self)
+        return self._compiled
+
     def predict(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = check_array(X)
+        codes = self._binner.transform(X)
+        return self.compile_kernel().predict_codes(codes)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """The pinned ``_Node``-walk prediction the compiled kernel is
+        parity-tested against (``tests/ml/test_compiled_parity.py``)."""
         self.check_fitted()
         X = check_array(X)
         codes = self._binner.transform(X)

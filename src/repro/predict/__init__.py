@@ -12,6 +12,7 @@ from repro.predict.predictor import (
     SourceRegionPrediction,
     DesignPrediction,
     CongestionPredictor,
+    RegionIndex,
 )
 from repro.predict.resolve import Resolution, suggest_resolutions
 
@@ -19,5 +20,6 @@ __all__ = [
     "TABLE4_TARGETS", "TABLE4_MODELS", "ScaledModel", "ModelEvaluation",
     "Table4Results", "evaluate_models",
     "SourceRegionPrediction", "DesignPrediction", "CongestionPredictor",
+    "RegionIndex",
     "Resolution", "suggest_resolutions",
 ]

@@ -58,6 +58,53 @@ class DesignPrediction:
         return sorted(self.regions, key=lambda r: -r.average)[:n]
 
 
+class RegionIndex:
+    """Model-independent node -> source-region grouping.
+
+    Building the grouping walks the dependency graph and the module's
+    uid->op map once per (design, graph, nodes) — a Python loop over
+    every predicted operation — while evaluating it against fresh
+    predictions is a handful of vectorized maxima.  The serving tier
+    memoizes instances per design group so repeated requests pay only
+    the cheap half.
+    """
+
+    __slots__ = ("_keys", "_indices")
+
+    def __init__(self, keys: list[tuple[str, int]],
+                 indices: list[np.ndarray]) -> None:
+        self._keys = keys
+        self._indices = indices
+
+    @classmethod
+    def build(cls, design: KernelDesign, graph,
+              nodes: list[int]) -> "RegionIndex":
+        by_region: dict[tuple[str, int], list[int]] = {}
+        for i, node_id in enumerate(nodes):
+            info = graph.info(node_id)
+            # cached uid->op map: one dict hit per node instead of a
+            # scan over the module's functions per predicted operation
+            op = design.op_by_uid(info.op_uids[0])
+            by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
+        return cls(
+            list(by_region),
+            [np.asarray(idx) for idx in by_region.values()],
+        )
+
+    def regions(self, v: np.ndarray,
+                h: np.ndarray) -> list[SourceRegionPrediction]:
+        return [
+            SourceRegionPrediction(
+                source_file=file,
+                source_line=line,
+                vertical=float(v[idx].max()),
+                horizontal=float(h[idx].max()),
+                n_ops=len(idx),
+            )
+            for (file, line), idx in zip(self._keys, self._indices)
+        ]
+
+
 def regions_from_predictions(
     design: KernelDesign,
     graph,
@@ -71,24 +118,7 @@ def regions_from_predictions(
     path of :class:`repro.serve.CongestionService` so both report
     identical regions for identical per-node predictions.
     """
-    by_region: dict[tuple[str, int], list[int]] = {}
-    for i, node_id in enumerate(nodes):
-        info = graph.info(node_id)
-        # cached uid->op map: one dict hit per node instead of a scan
-        # over the module's functions for every predicted operation
-        op = design.op_by_uid(info.op_uids[0])
-        by_region.setdefault((op.loc.file, op.loc.line), []).append(i)
-    return [
-        SourceRegionPrediction(
-            source_file=file,
-            source_line=line,
-            vertical=float(v[idx].max()),
-            horizontal=float(h[idx].max()),
-            n_ops=len(idx),
-        )
-        for (file, line), idx_list in by_region.items()
-        for idx in [np.asarray(idx_list)]
-    ]
+    return RegionIndex.build(design, graph, nodes).regions(v, h)
 
 
 class CongestionPredictor:
@@ -135,8 +165,41 @@ class CongestionPredictor:
             raise MLError("CongestionPredictor must be fitted first")
 
     # ------------------------------------------------------------------
+    def compiled_ensembles(self) -> dict | None:
+        """Per-direction compiled kernels (``repro.ml.compiled``).
+
+        Returns ``None`` for model families the compiled path cannot
+        represent — anything behind a feature scaler, or estimators
+        without a ``compile_kernel`` (linear, ANN) — and for a
+        predictor with no fitted models at all.  Used for the
+        shared-binning fast path below and by the model registry to
+        decide whether a portable export can be written.
+        """
+        if not self._models:
+            return None
+        out = {}
+        for target, scaled in self._models.items():
+            estimator = scaled.estimator
+            if scaled.with_scaler or not hasattr(estimator, "compile_kernel"):
+                return None
+            out[target] = estimator.compile_kernel()
+        return out
+
     def predict_matrix(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         self._check_fitted()
+        kernels = self.compiled_ensembles()
+        if kernels is not None:
+            from repro.ml.compiled import shared_binning
+
+            vertical, horizontal = kernels["vertical"], kernels["horizontal"]
+            if shared_binning(vertical, horizontal):
+                # both directions are fitted on the same X, so their
+                # bin edges coincide: quantize once, traverse twice
+                codes = vertical.bin(X)
+                return (
+                    vertical.predict_codes(codes),
+                    horizontal.predict_codes(codes),
+                )
         return (
             self._models["vertical"].predict(X),
             self._models["horizontal"].predict(X),

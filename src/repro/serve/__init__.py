@@ -9,6 +9,9 @@ of rewriting the flow or predict layers.  The pieces:
   predictors (checksummed artifacts, quarantine on corruption);
 * :class:`CongestionService` — load-or-train once, batched prediction
   over the HLS-prefix pipeline;
+* :class:`PoolServer` — the same service surface fanned out across
+  sharded worker processes, each serving a compiled model export
+  (:mod:`repro.ml.compiled`);
 * :class:`ResilientCongestionServer` — bounded admission, deadline-
   aware micro-batching, worker supervision, graceful degradation —
   plus :class:`RegistryWatcher`, the model hot-swap driver;
@@ -29,6 +32,7 @@ from repro.serve.net import (
     NetServerHandle,
     start_net_server,
 )
+from repro.serve.pool import PoolConfig, PoolServer
 from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.registry import (
     MANIFEST_FORMAT_VERSION,
@@ -57,6 +61,7 @@ __all__ = [
     "MANIFEST_FORMAT_VERSION", "ModelManifest", "ModelRegistry",
     "dataset_spec_fingerprint",
     "CongestionService", "PredictRequest", "PredictResponse",
+    "PoolConfig", "PoolServer",
     "ResilientCongestionServer", "ServerConfig", "RegistryWatcher",
     "NetServer", "NetServerConfig", "NetServerHandle", "NetClient",
     "start_net_server", "PROTOCOL_VERSION",

@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.features.registry import N_FEATURES, registry_hash
 from repro.flow.pipeline import FlowOptions
 from repro.fpga.device import Device, device_fingerprint, xc7z020
+from repro.ml import compiled as ml_compiled
 from repro.predict.predictor import CongestionPredictor
 from repro.util.cache import (
     CACHE_DIR_ENV,
@@ -147,6 +148,17 @@ class ModelRegistry:
         key = self._key(model_family, dataset_fingerprint, device)
         return os.path.join(self.root, f"{key}.model.pkl")
 
+    def export_npz_path(self, model_family: str, dataset_fingerprint: str,
+                        device: Device | None = None) -> str:
+        key = self._key(model_family, dataset_fingerprint, device)
+        return os.path.join(self.root, f"{key}.export.npz")
+
+    def export_manifest_path(self, model_family: str,
+                             dataset_fingerprint: str,
+                             device: Device | None = None) -> str:
+        key = self._key(model_family, dataset_fingerprint, device)
+        return os.path.join(self.root, f"{key}.export.json")
+
     # ------------------------------------------------------------------
     def save(
         self,
@@ -173,6 +185,7 @@ class ModelRegistry:
         dev = predictor.device
         deep_pickle_dump(self.model_path(family, fp, dev), predictor,
                          site="registry.save")
+        self._write_export(predictor, manifest, family, fp, dev)
         # The manifest is written *after* the model and stays plain,
         # human-readable JSON (truncation surfaces as a parse failure on
         # load and quarantines the pair).  A crash between the two
@@ -192,6 +205,38 @@ class ModelRegistry:
             raise
         self.saves += 1
         return manifest
+
+    def _write_export(self, predictor: CongestionPredictor,
+                      manifest: ModelManifest, family: str, fp: str,
+                      device: Device) -> None:
+        """Persist the compiled-kernel export next to the pickled model.
+
+        Written *between* the model and the registry manifest so the
+        manifest stays the publish point: a reader that sees the
+        manifest sees a complete (model, export) set.  Families the
+        compiled path cannot represent (scaled pipelines, linear/ANN)
+        get any stale export removed instead, so an old artifact can
+        never shadow the freshly saved model.
+        """
+        kernels = predictor.compiled_ensembles() \
+            if hasattr(predictor, "compiled_ensembles") else None
+        npz = self.export_npz_path(family, fp, device)
+        exp_manifest = self.export_manifest_path(family, fp, device)
+        if kernels is None:
+            for path in (exp_manifest, npz):  # manifest first: unpublish
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            return
+        ml_compiled.save_export(npz, exp_manifest, kernels, meta={
+            "model_family": manifest.model_family,
+            "feature_registry_hash": manifest.feature_registry_hash,
+            "dataset_fingerprint": manifest.dataset_fingerprint,
+            "device_fingerprint": manifest.device_fingerprint,
+            "n_features": manifest.n_features,
+            "created_at": manifest.created_at,
+        })
 
     def artifact_version(self, model_family: str, dataset_fingerprint: str,
                          device: Device | None = None) -> tuple | None:
@@ -325,6 +370,70 @@ class ModelRegistry:
             )
         self.hits += 1
         return predictor
+
+    def load_export(
+        self,
+        model_family: str,
+        dataset_fingerprint: str,
+        *,
+        device: Device | None = None,
+    ) -> "ml_compiled.CompiledPredictor":
+        """Load the compiled-kernel export for a persisted model.
+
+        Same validation contract as :meth:`load` — registry manifest
+        checked against the running library first — but returns an
+        inference-only :class:`~repro.ml.compiled.CompiledPredictor`
+        built from flat node tables, never unpickling the training
+        stack.  This is what serving-pool workers call.  A persisted
+        model without an export (non-compilable family) raises
+        :class:`ModelRegistryError`, a plain miss.
+        """
+        device = device or xc7z020()
+        manifest = self.read_manifest(model_family, dataset_fingerprint,
+                                      device)
+        self._validate(manifest, device)
+        npz = self.export_npz_path(model_family, dataset_fingerprint, device)
+        exp_manifest = self.export_manifest_path(
+            model_family, dataset_fingerprint, device
+        )
+        try:
+            compiled = ml_compiled.load_export(npz, exp_manifest)
+        except FileNotFoundError:
+            self.misses += 1
+            raise ModelRegistryError(
+                f"persisted {model_family!r} model has no compiled "
+                f"export under {self.root} (family not compilable?)"
+            ) from None
+        except CorruptArtifactError as exc:
+            self.misses += 1
+            self._quarantine(npz, exp_manifest)
+            raise CorruptArtifactError(
+                f"corrupt compiled export {npz} (quarantined): {exc}"
+            ) from exc
+        # the export must describe the same model the manifest publishes
+        expected = {
+            "model_family": manifest.model_family,
+            "feature_registry_hash": manifest.feature_registry_hash,
+            "dataset_fingerprint": manifest.dataset_fingerprint,
+            "device_fingerprint": json.dumps(
+                manifest.device_fingerprint, default=list
+            ),
+        }
+        got = {
+            key: (json.dumps(compiled.manifest.get(key), default=list)
+                  if key == "device_fingerprint"
+                  else compiled.manifest.get(key))
+            for key in expected
+        }
+        if expected != got:
+            self.misses += 1
+            self._quarantine(npz, exp_manifest)
+            raise CorruptArtifactError(
+                f"compiled export {npz} does not match registry manifest "
+                f"(quarantined): expected {expected}, got {got}"
+            )
+        self.hits += 1
+        return compiled
 
     # ------------------------------------------------------------------
     def entries(self) -> list[ModelManifest]:

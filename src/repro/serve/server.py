@@ -321,6 +321,12 @@ class ResilientCongestionServer:
         for worker in workers:
             worker.join(timeout=timeout_s)
         self._supervisor.join(timeout=timeout_s)
+        # after the last worker: a pool-backed service stops its worker
+        # processes here (no-op for the plain in-process service;
+        # duck-typed test stubs may not define close at all)
+        service_close = getattr(self.service, "close", None)
+        if service_close is not None:
+            service_close()
 
     def __enter__(self) -> "ResilientCongestionServer":
         return self

@@ -20,6 +20,11 @@ site                   where it fires
 ``registry.load``      before a model artifact is read back
 ``stage.<name>``       before flow stage ``<name>`` executes
 ``server.worker``      in a serving worker, after it claimed a batch
+``pool.dispatch``      in the pool parent, before a micro-batch is
+                       sharded across worker processes
+``pool.worker``        in a pool worker process, before it serves a
+                       dispatched shard (``crash`` kills the process;
+                       the parent restarts it and re-dispatches)
 ``net.read``           before a wire frame is read (either side)
 ``net.write``          before a wire frame is written (either side)
 ``net.stall``          alongside every wire read/write — attach ``delay``

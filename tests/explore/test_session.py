@@ -55,6 +55,7 @@ def test_sweep_never_places_or_routes(service, monkeypatch):
         cache_mod._GLOBAL_STORES, "flow_stages", KeyedCache()
     )
     monkeypatch.setattr(service, "_prediction_cache", {})
+    monkeypatch.setattr(service, "_feature_cache", {})
     session = _session(service)
     result = session.sweep(max_configs=6, seed=1)
     assert len(result.evaluations) == 6
@@ -70,6 +71,7 @@ def test_each_unique_signature_computed_exactly_once(service, monkeypatch):
     # pristine design memo needs no clearing — a memoized design is
     # handed out as a fresh un-synthesized copy every time
     monkeypatch.setattr(service, "_prediction_cache", {})
+    monkeypatch.setattr(service, "_feature_cache", {})
     session = _session(service)
     configs = session.space.sample(8, seed=3)
     unique_keys = {

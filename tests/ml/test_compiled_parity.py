@@ -1,0 +1,284 @@
+"""Bit-parity of the compiled inference kernel with the object walk.
+
+The compiled kernel (:mod:`repro.ml.compiled`) replaces the per-sample
+``_Node`` walk on every predict path; these tests pin the contract that
+made that safe: predictions agree with the pinned ``predict_reference``
+to 1e-9 (only tree summation order differs), batch and single-row
+prediction are bit-identical, and the portable export round-trips —
+including into a fresh process that never imports the training stack.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptArtifactError, MLError
+from repro.ml import (
+    DecisionTreeRegressor,
+    FeatureBinner,
+    GradientBoostingRegressor,
+    GridSearchCV,
+    RandomForestRegressor,
+)
+from repro.ml.compiled import (
+    EXPORT_FORMAT_VERSION,
+    CompiledPredictor,
+    compile_ensemble,
+    load_export,
+    save_export,
+    shared_binning,
+)
+
+PARITY = 1e-9
+
+
+def friedman(n=500, p=8, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, p))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 10 * X[:, 3]
+        + 5 * X[:, 4]
+        + rng.normal(scale=0.3, size=n)
+    )
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# estimator parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("params", [
+    dict(n_estimators=60, max_depth=3),
+    # the rng paths: per-stage subsampling and feature subsampling
+    dict(n_estimators=40, max_depth=4, subsample=0.7, max_features=0.5),
+    # the paper's tuned configuration shape
+    dict(n_estimators=120, max_depth=5, learning_rate=0.08, subsample=0.8,
+         max_features=0.4),
+])
+def test_gbrt_compiled_matches_object_walk(params):
+    X, y = friedman()
+    gbrt = GradientBoostingRegressor(random_state=3, **params).fit(X, y)
+    compiled = gbrt.predict(X)
+    reference = gbrt.predict_reference(X)
+    assert gbrt._compiled is not None  # the kernel actually engaged
+    assert np.max(np.abs(compiled - reference)) <= PARITY
+
+
+def test_random_forest_compiled_matches_object_walk():
+    """RF trees store *local* feature indices (per-tree subsets); the
+    compiler must remap them to global columns."""
+    X, y = friedman()
+    forest = RandomForestRegressor(
+        n_estimators=25, max_depth=6, max_features=0.4, random_state=1
+    ).fit(X, y)
+    assert np.max(
+        np.abs(forest.predict(X) - forest.predict_reference(X))
+    ) <= PARITY
+
+
+def test_decision_tree_compiled_matches_object_walk():
+    X, y = friedman(300)
+    tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+    assert np.max(
+        np.abs(tree.predict(X) - tree.predict_reference(X))
+    ) <= PARITY
+
+
+def test_batch_equals_single_row_bitwise():
+    """Per-row computation is batch-independent: serving a request alone
+    or inside any micro-batch gives the same bits."""
+    X, y = friedman(200)
+    gbrt = GradientBoostingRegressor(
+        n_estimators=50, max_depth=4, subsample=0.8, random_state=0
+    ).fit(X, y)
+    batch = gbrt.predict(X)
+    singles = np.concatenate([gbrt.predict(X[i:i + 1]) for i in range(40)])
+    assert np.array_equal(batch[:40], singles)
+
+
+def test_binner_small_batch_path_matches_searchsorted():
+    """FeatureBinner's broadcast small-batch path is bit-identical to
+    the searchsorted bulk path (and so is the compiled ensemble's)."""
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 11))
+    binner = FeatureBinner(32).fit(X)
+    bulk = binner.transform(X)  # n > 64: searchsorted
+    for lo in (0, 64, 299):
+        small = binner.transform(X[lo:lo + 1])  # n = 1: broadcast
+        assert np.array_equal(small, bulk[lo:lo + 1])
+
+
+def test_staged_predict_routes_through_kernel():
+    X, y = friedman(300)
+    gbrt = GradientBoostingRegressor(
+        n_estimators=30, max_depth=3, random_state=0
+    ).fit(X, y)
+    stages = list(gbrt.staged_predict(X))
+    assert len(stages) == 30
+    # stage t must equal a prefix-ensemble prediction
+    manual = np.full(X.shape[0], gbrt.init_)
+    codes = gbrt._binner.transform(X)
+    leaf = gbrt.compile_kernel().leaf_values(codes)
+    for t, stage in enumerate(stages):
+        manual = manual + gbrt.learning_rate * leaf[:, t]
+        assert np.max(np.abs(stage - manual)) <= PARITY
+    assert np.max(np.abs(stages[-1] - gbrt.predict(X))) <= PARITY
+
+
+def test_grid_search_predict_uses_compiled_kernel():
+    X, y = friedman(240)
+    search = GridSearchCV(
+        GradientBoostingRegressor(n_estimators=15, random_state=0),
+        {"max_depth": [2, 3]},
+        cv=3,
+    ).fit(X, y)
+    prediction = search.predict(X)
+    assert search.best_estimator_._compiled is not None
+    assert np.max(
+        np.abs(prediction - search.best_estimator_.predict_reference(X))
+    ) <= PARITY
+
+
+def test_compiled_cache_dropped_from_pickles_and_rebuilt():
+    import pickle
+
+    X, y = friedman(200)
+    gbrt = GradientBoostingRegressor(n_estimators=20).fit(X, y)
+    expected = gbrt.predict(X)
+    assert gbrt._compiled is not None
+    clone = pickle.loads(pickle.dumps(gbrt))
+    assert clone.__dict__.get("_compiled") is None  # derived state shed
+    assert np.array_equal(clone.predict(X), expected)
+
+
+def test_compile_rejects_unfitted_and_foreign_estimators():
+    with pytest.raises(MLError, match="fit"):
+        GradientBoostingRegressor().compile_kernel()
+    with pytest.raises(MLError, match="cannot compile|no fitted binner"):
+        compile_ensemble(object())
+
+
+# ----------------------------------------------------------------------
+# the paper's feature matrices (all three combos)
+# ----------------------------------------------------------------------
+def test_parity_on_paper_dataset(small_dataset):
+    """Real 302-feature rows from every paper combination, fitted per
+    congestion direction — the matrices the serving pool actually sees."""
+    X = small_dataset.X
+    for target in ("vertical", "horizontal"):
+        gbrt = GradientBoostingRegressor(
+            n_estimators=40, max_depth=4, random_state=0
+        ).fit(X, small_dataset.target(target))
+        assert np.max(
+            np.abs(gbrt.predict(X) - gbrt.predict_reference(X))
+        ) <= PARITY
+
+
+# ----------------------------------------------------------------------
+# portable export
+# ----------------------------------------------------------------------
+def _fitted_pair(n=300):
+    X, _ = friedman(n)
+    yv = X[:, 0] * 3 + X[:, 1]
+    yh = X[:, 2] * 2 - X[:, 3]
+    gv = GradientBoostingRegressor(n_estimators=25, random_state=0).fit(X, yv)
+    gh = GradientBoostingRegressor(n_estimators=25, random_state=0).fit(X, yh)
+    return X, gv, gh
+
+
+def test_export_round_trip_is_bit_identical(tmp_path):
+    X, gv, gh = _fitted_pair()
+    ensembles = {"vertical": gv.compile_kernel(),
+                 "horizontal": gh.compile_kernel()}
+    npz = str(tmp_path / "m.npz")
+    manifest_path = str(tmp_path / "m.json")
+    manifest = save_export(npz, manifest_path, ensembles,
+                           meta={"model_family": "gbrt"})
+    assert manifest["export_format_version"] == EXPORT_FORMAT_VERSION
+    assert manifest["directions"]["vertical"]["n_trees"] == 25
+
+    loaded = load_export(npz, manifest_path)
+    assert isinstance(loaded, CompiledPredictor)
+    v, h = loaded.predict_matrix(X)
+    assert np.array_equal(v, gv.predict(X))
+    assert np.array_equal(h, gh.predict(X))
+
+
+def test_export_rejects_version_and_corruption(tmp_path):
+    _, gv, gh = _fitted_pair(120)
+    ensembles = {"vertical": gv.compile_kernel(),
+                 "horizontal": gh.compile_kernel()}
+    npz = str(tmp_path / "m.npz")
+    manifest_path = str(tmp_path / "m.json")
+    save_export(npz, manifest_path, ensembles)
+
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    manifest["export_format_version"] = EXPORT_FORMAT_VERSION + 1
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+    with pytest.raises(CorruptArtifactError, match="format version"):
+        load_export(npz, manifest_path)
+    manifest["export_format_version"] = EXPORT_FORMAT_VERSION
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+
+    with open(npz, "r+b") as fh:  # truncate the weights
+        fh.truncate(100)
+    with pytest.raises(CorruptArtifactError, match="unreadable"):
+        load_export(npz, manifest_path)
+
+    with pytest.raises(FileNotFoundError):
+        load_export(str(tmp_path / "absent.npz"),
+                    str(tmp_path / "absent.json"))
+
+
+def test_shared_binning_detected_for_same_fit_matrix():
+    X, gv, gh = _fitted_pair(150)
+    kv, kh = gv.compile_kernel(), gh.compile_kernel()
+    assert shared_binning(kv, kh)
+    predictor = CompiledPredictor({"vertical": kv, "horizontal": kh})
+    v, h = predictor.predict_matrix(X)
+    assert np.array_equal(v, gv.predict(X))
+    assert np.array_equal(h, gh.predict(X))
+
+
+LOADER = """
+import json, sys
+import numpy as np
+from repro.ml.compiled import load_export
+
+predictor = load_export(sys.argv[1], sys.argv[2])
+v, h = predictor.predict_matrix(np.load(sys.argv[3]))
+banned = [m for m in sys.modules
+          if m in ("repro.ml.tree", "repro.ml.gbrt", "repro.ml.base",
+                   "repro.predict", "repro.flow", "repro.dataset")
+          or m.startswith("repro.hls")]
+print(json.dumps({"v": v.tolist(), "h": h.tolist(), "banned": banned}))
+"""
+
+
+def test_export_loads_without_training_stack(tmp_path):
+    """A fresh process serves from the export alone: no tree/GBRT
+    modules, no flow stack, not even pickle."""
+    X, gv, gh = _fitted_pair(80)
+    ensembles = {"vertical": gv.compile_kernel(),
+                 "horizontal": gh.compile_kernel()}
+    npz = str(tmp_path / "m.npz")
+    manifest_path = str(tmp_path / "m.json")
+    save_export(npz, manifest_path, ensembles)
+    x_path = str(tmp_path / "x.npy")
+    np.save(x_path, X[:16])
+
+    out = subprocess.run(
+        [sys.executable, "-c", LOADER, npz, manifest_path, x_path],
+        capture_output=True, text=True, check=True,
+    )
+    payload = json.loads(out.stdout)
+    assert payload["banned"] == []
+    assert np.array_equal(np.asarray(payload["v"]), gv.predict(X[:16]))
+    assert np.array_equal(np.asarray(payload["h"]), gh.predict(X[:16]))

@@ -373,6 +373,7 @@ def test_design_memo_stays_pristine():
         for _ in range(2):
             cache_mod._GLOBAL_STORES["flow_stages"] = KeyedCache()
             service._prediction_cache.clear()
+            service._feature_cache.clear()
             results.append(service.predict(request))
     finally:
         cache_mod._GLOBAL_STORES["flow_stages"] = old_store
